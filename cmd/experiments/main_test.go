@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-scale", "tiny", "table1", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"-scale", "tiny", "bogus"}); err == nil {
+		t.Fatal("unknown subcommand must error")
+	}
+}
+
+func TestRunMissingSubcommand(t *testing.T) {
+	if err := run([]string{"-scale", "tiny"}); err == nil {
+		t.Fatal("missing subcommand must error")
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "huge", "table1"}); err == nil {
+		t.Fatal("bad scale must error")
+	}
+}
+
+func TestRunSpeedupTiny(t *testing.T) {
+	cache := t.TempDir()
+	if err := run([]string{"-scale", "tiny", "-cache", cache, "speedup"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5WithCSV(t *testing.T) {
+	cache := t.TempDir()
+	csv := filepath.Join(t.TempDir(), "fig5.csv")
+	if err := run([]string{"-scale", "tiny", "-cache", cache,
+		"-fig5-group", "2", "-csv", csv, "fig5"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("csv output empty")
+	}
+}

@@ -1,0 +1,212 @@
+// Command simtune tunes one Conv2D+Bias+ReLU group end to end, either the
+// classic way (native measurement on the modelled target board) or the
+// paper's way (parallel instruction-accurate simulators plus a trained score
+// predictor), and prints the resulting best implementations.
+//
+// Examples:
+//
+//	simtune -arch riscv -group 1 -trials 64 -runner native
+//	simtune -arch riscv -group 3 -trials 200 -runner sim -predictor XGBoost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ansor"
+	"repro/internal/autotvm"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/num"
+	"repro/internal/runner"
+	"repro/internal/schedule"
+	"repro/internal/te"
+
+	simtune "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simtune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "riscv", "target architecture: x86|arm|riscv")
+	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
+	group := flag.Int("group", 1, "Table II conv group (0-4)")
+	trials := flag.Int("trials", 64, "candidates to evaluate")
+	runnerKind := flag.String("runner", "sim", "runner: native|sim|autotvm")
+	predName := flag.String("predictor", "XGBoost", "score predictor for -runner sim")
+	nPar := flag.Int("parallel", 4, "parallel simulator instances")
+	implsPerGroup := flag.Int("train-impls", 40, "training implementations per group for -runner sim")
+	seed := flag.Uint64("seed", 1, "random seed")
+	topK := flag.Int("top", 5, "print the K best implementations")
+	cacheDir := flag.String("cache", os.TempDir()+"/simtune-cache", "dataset cache directory")
+	flag.Parse()
+
+	arch, err := isa.ParseArch(*archFlag)
+	if err != nil {
+		return err
+	}
+	scale, err := te.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	prof := hw.Lookup(arch)
+	start := time.Now()
+
+	switch *runnerKind {
+	case "native":
+		return tuneNative(prof, scale, *group, *trials, *seed, *topK, start)
+	case "autotvm":
+		return tuneAutoTVM(prof, scale, *group, *trials, *seed, *topK, start)
+	case "sim":
+		return tuneSimulator(arch, scale, *group, *trials, *predName, *nPar,
+			*implsPerGroup, *seed, *topK, *cacheDir, start)
+	}
+	return fmt.Errorf("unknown runner %q (want native|sim|autotvm)", *runnerKind)
+}
+
+// tuneNative measures every candidate on the modelled board (Fig. 2 flow).
+func tuneNative(prof hw.Profile, scale te.Scale, group, trials int, seed uint64, topK int, start time.Time) error {
+	g := group
+	factory := func() *te.Workload { return te.ConvGroup(scale, g) }
+	lr := runner.NewLocalRunner(prof, hw.DefaultMeasureOptions(), num.NewRNG(seed))
+	records, err := searchWith(factory, prof.Arch, lr, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("native tuning of group %d on %s: %d candidates, wall-clock cost %.0f s (with cooldowns)\n",
+		group, prof.Arch, len(records), lr.WallClockSec())
+	printTop(records, topK)
+	fmt.Printf("(host time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// tuneAutoTVM uses the template-based flow with the model-guided tuner.
+func tuneAutoTVM(prof hw.Profile, scale te.Scale, group, trials int, seed uint64, topK int, start time.Time) error {
+	g := group
+	factory := func() *te.Workload { return te.ConvGroup(scale, g) }
+	tmpl := autotvm.ConvTemplate{}
+	space, err := tmpl.Space(factory())
+	if err != nil {
+		return err
+	}
+	records, err := autotvm.Tune(factory, tmpl,
+		autotvm.NewModelTuner(space, num.NewRNG(seed)),
+		autotvm.Options{
+			Trials: trials, BatchSize: 16,
+			Builder: runner.LocalBuilder{Arch: prof.Arch},
+			Runner:  runner.NewLocalRunner(prof, hw.DefaultMeasureOptions(), num.NewRNG(seed+1)),
+		})
+	if err != nil {
+		return err
+	}
+	best := autotvm.Best(records)
+	fmt.Printf("autotvm (xgb tuner) on group %d, %s: %d trials\n", group, prof.Arch, len(records))
+	if best != nil {
+		fmt.Printf("best config: %s  tref=%.6fs\n", space.String(best.Config), best.TimeSec)
+		fmt.Printf("schedule: %s\n", renderSteps(best.Steps, factory))
+	}
+	fmt.Printf("(host time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// tuneSimulator is the paper's flow: train a predictor, tune on simulators
+// only, then validate the top-K natively.
+func tuneSimulator(arch isa.Arch, scale te.Scale, group, trials int, predName string, nPar, implsPerGroup int, seed uint64, topK int, cacheDir string, start time.Time) error {
+	trainGroups := []int{}
+	for gi := 0; gi < te.NumConvGroups; gi++ {
+		if gi != group {
+			trainGroups = append(trainGroups, gi)
+		}
+	}
+	fmt.Printf("training %s predictor for %s on groups %v (%d impls each)...\n",
+		predName, arch, trainGroups, implsPerGroup)
+	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
+		Arch: arch, Scale: scale, Predictor: predName, Groups: trainGroups,
+		ImplsPerGroup: implsPerGroup, NParallel: nPar, Seed: seed, CacheDir: cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tuning group %d on %d parallel simulators (target board NOT used)...\n", group, nPar)
+	records, err := model.TuneGroup(simtune.TuneGroupOptions{
+		Group: group, Trials: trials, NParallel: nPar,
+	})
+	if err != nil {
+		return err
+	}
+	top := simtune.TopK(records, topK)
+	fmt.Printf("top %d of %d candidates by predicted score:\n", len(top), len(records))
+	for i, r := range top {
+		fmt.Printf("  #%d score=%+.4f\n", i+1, r.Score)
+	}
+	best, idx, err := model.ValidateOnTarget(group, top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("validated on target: best candidate #%d runs in %.6f s\n", idx+1, best)
+	fmt.Printf("(host time %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func printTop(records []searchRecord, k int) {
+	// sort by score ascending
+	idx := make([]int, len(records))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && records[idx[j]].score < records[idx[j-1]].score; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		r := records[idx[i]]
+		fmt.Printf("  #%d tref=%.6fs  %s\n", i+1, r.score, r.desc)
+	}
+}
+
+type searchRecord struct {
+	score float64
+	desc  string
+}
+
+// searchWith runs the auto-scheduler against an arbitrary runner and adapts
+// records for printing.
+func searchWith(factory runner.WorkloadFactory, arch isa.Arch, r runner.Runner, trials int, seed uint64) ([]searchRecord, error) {
+	opt := ansor.DefaultOptions()
+	opt.Trials = trials
+	opt.BatchSize = 16
+	opt.Builder = runner.LocalBuilder{Arch: arch}
+	opt.Runner = r
+	recs, err := ansor.Search(factory, opt, num.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]searchRecord, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Err != nil {
+			continue
+		}
+		out = append(out, searchRecord{score: rec.Score, desc: renderSteps(rec.Steps, factory)})
+	}
+	return out, nil
+}
+
+func renderSteps(steps []schedule.Step, factory runner.WorkloadFactory) string {
+	wl := factory()
+	s, err := schedule.Replay(wl.Op, steps)
+	if err != nil {
+		return fmt.Sprintf("(unrenderable: %v)", err)
+	}
+	return s.String()
+}

@@ -1,0 +1,81 @@
+// presilicon_riscv demonstrates Contribution I's headline scenario: the
+// RISC-V board is scarce (or does not exist yet — pre-silicon software
+// development), so autotuning runs on K parallel instruction-accurate
+// simulator instances hosted on an x86 machine instead. The example computes
+// the paper's Eq. (4): how many parallel simulators are needed to beat
+// sequential native measurement, using the measured native wall-clock cost
+// (15 repetitions + 1 s cooldowns per candidate) against modelled
+// gem5-class simulation time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	simtune "repro"
+	"repro/internal/hw"
+	"repro/internal/te"
+)
+
+func main() {
+	impls := flag.Int("impls", 24, "implementations per group")
+	scaleFlag := flag.String("scale", "tiny", "workload scale: tiny|small|paper")
+	flag.Parse()
+	scale, err := te.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof := simtune.HardwareProfile(simtune.RISCV)
+	fmt.Printf("target: %s @ %.1f GHz (modelled; the 'board' is only used for reference measurements)\n",
+		prof.Name, prof.FreqGHz)
+
+	// Training phase: this is the one time the board is needed.
+	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
+		Arch: simtune.RISCV, Scale: scale, Predictor: "Bayes",
+		Groups: []int{0, 1, 2}, ImplsPerGroup: *impls, Seed: 3,
+		CacheDir: os.TempDir() + "/simtune-cache",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eq. (4) from the collected dataset: native measurement cost per
+	// implementation vs gem5-class simulation time.
+	opt := hw.DefaultMeasureOptions()
+	fmt.Printf("\nEq. (4) with N_exe=%d, t_cooldown=%.0fs (per-group ranges from the dataset):\n",
+		opt.Nexe, opt.CooldownSec)
+	for _, g := range model.Dataset.Groups {
+		kMin, kMax := 1<<30, 0
+		for _, impl := range g.Impls {
+			tsim := hw.SimSeconds(int64(impl.Stats.Total), prof)
+			k := hw.ParallelSimulators(tsim, impl.TrefSec, opt)
+			if k < kMin {
+				kMin = k
+			}
+			if k > kMax {
+				kMax = k
+			}
+		}
+		fmt.Printf("  group %d: K ∈ [%d, %d]\n", g.Group, kMin, kMax)
+	}
+	fmt.Println("  (paper, full-size kernels: K_RISC-V ∈ [3, 21] — in the best case")
+	fmt.Println("   3 parallel simulations on the x86 host replace one RISC-V board)")
+
+	// Execution phase: tune an unseen group with 8 parallel simulators.
+	fmt.Println("\ntuning unseen group 4 on 8 parallel simulators, no board required:")
+	records, err := model.TuneGroup(simtune.TuneGroupOptions{
+		Group: 4, Trials: 32, NParallel: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := simtune.TopK(records, 3)
+	best, idx, err := model.ValidateOnTarget(4, top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-3 validated on the board afterwards: best is #%d at %.6f s\n", idx+1, best)
+}

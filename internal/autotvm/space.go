@@ -1,0 +1,125 @@
+// Package autotvm reproduces TVM's template-based autotuning (§II-A,
+// Listing 2): a schedule template declares tunable knobs (split factors,
+// loop-order choices, unroll/vectorize annotations) spanning a ConfigSpace;
+// tuners (random, grid, genetic, model-guided) walk that space, and each
+// chosen ConfigEntity is applied to a fresh schedule and measured through
+// the runner interface of Contribution I.
+package autotvm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/num"
+)
+
+// Knob is one tunable dimension of a template's configuration space.
+type Knob struct {
+	// Name identifies the knob ("tile_co", "reorder", "vec", ...).
+	Name string
+	// Options are the selectable values (split factors, choice indices...).
+	Options []int
+}
+
+// ConfigSpace is the cross product of all knob options.
+type ConfigSpace struct {
+	Knobs []Knob
+}
+
+// AddKnob appends a knob; empty option lists are rejected.
+func (cs *ConfigSpace) AddKnob(name string, options []int) error {
+	if len(options) == 0 {
+		return fmt.Errorf("autotvm: knob %s has no options", name)
+	}
+	cs.Knobs = append(cs.Knobs, Knob{Name: name, Options: options})
+	return nil
+}
+
+// Size is the total number of configurations.
+func (cs *ConfigSpace) Size() int {
+	n := 1
+	for _, k := range cs.Knobs {
+		n *= len(k.Options)
+	}
+	return n
+}
+
+// ConfigEntity selects one option index per knob.
+type ConfigEntity struct {
+	Choices []int
+}
+
+// Value returns the chosen option value of knob k.
+func (cs *ConfigSpace) Value(c ConfigEntity, name string) int {
+	for i, k := range cs.Knobs {
+		if k.Name == name {
+			return k.Options[c.Choices[i]]
+		}
+	}
+	panic(fmt.Sprintf("autotvm: unknown knob %q", name))
+}
+
+// FromIndex decodes a flat index into a configuration (mixed radix).
+func (cs *ConfigSpace) FromIndex(idx int) ConfigEntity {
+	c := ConfigEntity{Choices: make([]int, len(cs.Knobs))}
+	for i := len(cs.Knobs) - 1; i >= 0; i-- {
+		n := len(cs.Knobs[i].Options)
+		c.Choices[i] = idx % n
+		idx /= n
+	}
+	return c
+}
+
+// Index encodes a configuration back to its flat index.
+func (cs *ConfigSpace) Index(c ConfigEntity) int {
+	idx := 0
+	for i, k := range cs.Knobs {
+		idx = idx*len(k.Options) + c.Choices[i]
+	}
+	return idx
+}
+
+// Sample draws a uniform random configuration.
+func (cs *ConfigSpace) Sample(rng *num.RNG) ConfigEntity {
+	c := ConfigEntity{Choices: make([]int, len(cs.Knobs))}
+	for i, k := range cs.Knobs {
+		c.Choices[i] = rng.Intn(len(k.Options))
+	}
+	return c
+}
+
+// Features turns a configuration into a numeric vector (knob option values)
+// for the model-guided tuner.
+func (cs *ConfigSpace) Features(c ConfigEntity) []float64 {
+	out := make([]float64, len(cs.Knobs))
+	for i, k := range cs.Knobs {
+		out[i] = float64(k.Options[c.Choices[i]])
+	}
+	return out
+}
+
+// String renders a configuration with knob names.
+func (cs *ConfigSpace) String(c ConfigEntity) string {
+	var b strings.Builder
+	for i, k := range cs.Knobs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s=%d", k.Name, k.Options[c.Choices[i]])
+	}
+	return b.String()
+}
+
+// divisors returns the sorted divisors of n (including 1 and n), capped.
+func divisors(n, cap int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 && d <= cap {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

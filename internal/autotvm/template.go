@@ -1,0 +1,202 @@
+package autotvm
+
+import (
+	"fmt"
+
+	"repro/internal/schedule"
+	"repro/internal/te"
+)
+
+// Template is a schedule template with tunable knobs, the AutoTVM concept of
+// Listing 2: Space declares the knobs for a workload and Apply materializes
+// one configuration as a schedule on a fresh workload instance.
+type Template interface {
+	Name() string
+	Space(wl *te.Workload) (*ConfigSpace, error)
+	Apply(wl *te.Workload, cs *ConfigSpace, c ConfigEntity) (*schedule.Schedule, error)
+}
+
+// TemplateFor returns the pre-designed template for a workload's kernel
+// type, like the operator templates shipped in the TVM repository.
+func TemplateFor(wl *te.Workload) (Template, error) {
+	switch wl.Kernel {
+	case "conv2d_bias_relu", "depthwise_conv2d":
+		return ConvTemplate{}, nil
+	case "matmul", "dense_bias_relu":
+		return MatmulTemplate{}, nil
+	}
+	return nil, fmt.Errorf("autotvm: no template for kernel %q", wl.Kernel)
+}
+
+// ConvTemplate tunes NCHW convolutions: output-channel/height/width tiling,
+// reduction-loop order, register-tile order, kw unrolling and innermost
+// vectorization.
+type ConvTemplate struct{}
+
+// Name implements Template.
+func (ConvTemplate) Name() string { return "conv2d_template" }
+
+// Space implements Template.
+func (ConvTemplate) Space(wl *te.Workload) (*ConfigSpace, error) {
+	sp := wl.Op.Spatial
+	if len(sp) != 4 {
+		return nil, fmt.Errorf("autotvm: conv template wants 4 spatial axes, got %d", len(sp))
+	}
+	co, oh, ow := sp[1], sp[2], sp[3]
+	cs := &ConfigSpace{}
+	if err := cs.AddKnob("tile_co", divisors(co.Extent, 32)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("tile_oh", divisors(oh.Extent, 8)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("tile_ow", divisors(ow.Extent, 32)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("reduce_order", []int{0, 1}); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("tile_order", []int{0, 1, 2}); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("unroll_kw", []int{0, 1}); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("vec", []int{0, 1}); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Apply implements Template.
+func (ConvTemplate) Apply(wl *te.Workload, cs *ConfigSpace, c ConfigEntity) (*schedule.Schedule, error) {
+	s := schedule.New(wl.Op)
+	// Leaves: n, co, oh, ow, then reduce axes (ci,kh,kw or kh,kw for
+	// depthwise).
+	n := s.Leaves[0]
+	co, oh, ow := s.Leaves[1], s.Leaves[2], s.Leaves[3]
+	reduce := append([]*schedule.IterVar{}, s.Leaves[4:]...)
+
+	coO, coI, err := s.Split(co, cs.Value(c, "tile_co"))
+	if err != nil {
+		return nil, err
+	}
+	ohO, ohI, err := s.Split(oh, cs.Value(c, "tile_oh"))
+	if err != nil {
+		return nil, err
+	}
+	owO, owI, err := s.Split(ow, cs.Value(c, "tile_ow"))
+	if err != nil {
+		return nil, err
+	}
+
+	red := append([]*schedule.IterVar{}, reduce...)
+	if cs.Value(c, "reduce_order") == 1 && len(red) >= 2 {
+		// Rotate: put the channel axis last (kh,kw,ci for full conv).
+		red = append(red[1:], red[0])
+	}
+	var tile []*schedule.IterVar
+	switch cs.Value(c, "tile_order") {
+	case 0:
+		tile = []*schedule.IterVar{coI, ohI, owI}
+	case 1:
+		tile = []*schedule.IterVar{ohI, coI, owI}
+	default:
+		tile = []*schedule.IterVar{ohI, owI, coI}
+	}
+
+	order := []*schedule.IterVar{n, coO, ohO, owO}
+	order = append(order, red...)
+	order = append(order, tile...)
+	if err := s.Reorder(order); err != nil {
+		return nil, err
+	}
+	if cs.Value(c, "unroll_kw") == 1 {
+		// Unroll the innermost reduce axis of the chosen order.
+		if err := s.Unroll(red[len(red)-1]); err != nil {
+			return nil, err
+		}
+	}
+	if cs.Value(c, "vec") == 1 {
+		if err := s.Vectorize(tile[len(tile)-1]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MatmulTemplate tunes MMM/dense kernels: i/j/k tiling, loop order and
+// innermost vectorization (the Listing 1/2 example of the paper).
+type MatmulTemplate struct{}
+
+// Name implements Template.
+func (MatmulTemplate) Name() string { return "matmul_template" }
+
+// Space implements Template.
+func (MatmulTemplate) Space(wl *te.Workload) (*ConfigSpace, error) {
+	sp := wl.Op.Spatial
+	if len(sp) != 2 || len(wl.Op.Reduce) != 1 {
+		return nil, fmt.Errorf("autotvm: matmul template wants 2 spatial + 1 reduce axes")
+	}
+	cs := &ConfigSpace{}
+	if err := cs.AddKnob("tile_i", divisors(sp[0].Extent, 32)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("tile_j", divisors(sp[1].Extent, 64)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("tile_k", divisors(wl.Op.Reduce[0].Extent, 16)); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("order", []int{0, 1, 2}); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("unroll_k", []int{0, 1}); err != nil {
+		return nil, err
+	}
+	if err := cs.AddKnob("vec", []int{0, 1}); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Apply implements Template.
+func (MatmulTemplate) Apply(wl *te.Workload, cs *ConfigSpace, c ConfigEntity) (*schedule.Schedule, error) {
+	s := schedule.New(wl.Op)
+	i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+	iO, iI, err := s.Split(i, cs.Value(c, "tile_i"))
+	if err != nil {
+		return nil, err
+	}
+	jO, jI, err := s.Split(j, cs.Value(c, "tile_j"))
+	if err != nil {
+		return nil, err
+	}
+	kO, kI, err := s.Split(k, cs.Value(c, "tile_k"))
+	if err != nil {
+		return nil, err
+	}
+	var order []*schedule.IterVar
+	switch cs.Value(c, "order") {
+	case 0:
+		order = []*schedule.IterVar{iO, jO, kO, iI, kI, jI}
+	case 1:
+		order = []*schedule.IterVar{iO, jO, iI, kO, kI, jI}
+	default:
+		order = []*schedule.IterVar{iO, jO, kO, kI, iI, jI}
+	}
+	if err := s.Reorder(order); err != nil {
+		return nil, err
+	}
+	if cs.Value(c, "unroll_k") == 1 {
+		if err := s.Unroll(kI); err != nil {
+			return nil, err
+		}
+	}
+	if cs.Value(c, "vec") == 1 {
+		if err := s.Vectorize(jI); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

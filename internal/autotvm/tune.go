@@ -1,0 +1,121 @@
+package autotvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Options configure a tuning session (TVM's measure_option + n_trial).
+type Options struct {
+	// Trials is the total number of measured candidates.
+	Trials int
+	// BatchSize candidates are built and measured together (the batch-wise
+	// generation the paper's §III-E windows depend on).
+	BatchSize int
+	// Builder compiles candidates; Runner measures them (Contribution I).
+	Builder runner.Builder
+	Runner  runner.Runner
+}
+
+// TrialRecord is one measured candidate.
+type TrialRecord struct {
+	Config  ConfigEntity
+	Steps   []schedule.Step
+	Score   float64
+	TimeSec float64
+	Stats   *sim.Stats
+	Err     error
+}
+
+// Tune runs the AutoTVM loop: the tuner proposes configuration batches, the
+// template materializes them as schedules, the builder compiles and the
+// runner measures, and the scores flow back into the tuner.
+func Tune(factory runner.WorkloadFactory, tmpl Template, tuner Tuner, opt Options) ([]TrialRecord, error) {
+	if opt.Builder == nil || opt.Runner == nil {
+		return nil, errors.New("autotvm: options need Builder and Runner")
+	}
+	if opt.Trials <= 0 {
+		return nil, errors.New("autotvm: Trials must be positive")
+	}
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 16
+	}
+	probe := factory()
+	space, err := tmpl.Space(probe)
+	if err != nil {
+		return nil, err
+	}
+
+	var records []TrialRecord
+	for len(records) < opt.Trials && tuner.HasNext() {
+		want := opt.Trials - len(records)
+		if want > opt.BatchSize {
+			want = opt.BatchSize
+		}
+		batch := tuner.NextBatch(want)
+		if len(batch) == 0 {
+			break
+		}
+		inputs := make([]runner.MeasureInput, len(batch))
+		stepsPer := make([][]schedule.Step, len(batch))
+		applyErrs := make([]error, len(batch))
+		for i, cfg := range batch {
+			wl := factory()
+			s, err := tmpl.Apply(wl, space, cfg)
+			if err != nil {
+				applyErrs[i] = fmt.Errorf("autotvm: apply %s: %w", space.String(cfg), err)
+				inputs[i] = runner.MeasureInput{Factory: factory}
+				continue
+			}
+			stepsPer[i] = s.Steps
+			inputs[i] = runner.MeasureInput{Factory: factory, Steps: s.Steps}
+		}
+		builds := opt.Builder.Build(inputs)
+		for i := range builds {
+			if applyErrs[i] != nil {
+				builds[i] = runner.BuildResult{Err: applyErrs[i]}
+			}
+		}
+		results := opt.Runner.Run(inputs, builds)
+		scores := make([]float64, len(results))
+		for i, res := range results {
+			scores[i] = res.Score
+			if res.Err != nil {
+				scores[i] = math.Inf(1)
+			}
+			records = append(records, TrialRecord{
+				Config:  batch[i],
+				Steps:   stepsPer[i],
+				Score:   scores[i],
+				TimeSec: res.TimeSec,
+				Stats:   res.Stats,
+				Err:     res.Err,
+			})
+		}
+		tuner.Update(batch, scores)
+	}
+	if len(records) == 0 {
+		return nil, errors.New("autotvm: no candidates were measured")
+	}
+	return records, nil
+}
+
+// Best returns the record with the lowest score (nil if all failed).
+func Best(records []TrialRecord) *TrialRecord {
+	var best *TrialRecord
+	for i := range records {
+		r := &records[i]
+		if r.Err != nil || math.IsInf(r.Score, 1) {
+			continue
+		}
+		if best == nil || r.Score < best.Score {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,236 @@
+// Package cache implements the parameterizable N-way set-associative cache
+// hierarchy of the paper (§II-B, Table I): per-level LRU caches with
+// write-back/write-allocate policy, chained so that misses propagate to the
+// next level, and full per-level statistics (read/write accesses, hits,
+// misses, and replacements) — the quantities the score predictor consumes
+// (§III-D).
+package cache
+
+import "fmt"
+
+// Config describes one cache level's geometry.
+type Config struct {
+	// Name labels the level (e.g. "L1D").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache-line size (64 B for all Table I CPUs).
+	LineBytes int
+	// Assoc is the number of ways per set.
+	Assoc int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Validate checks that the geometry is consistent and power-of-two indexed.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d is not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// Stats are the per-level counters the predictor features are built from.
+type Stats struct {
+	ReadAccesses  uint64
+	ReadHits      uint64
+	ReadMisses    uint64
+	WriteAccesses uint64
+	WriteHits     uint64
+	WriteMisses   uint64
+	// ReadRepl/WriteRepl count valid-line evictions caused by read/write
+	// allocations.
+	ReadRepl  uint64
+	WriteRepl uint64
+	// Writebacks counts dirty evictions forwarded to the next level.
+	Writebacks uint64
+}
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 { return s.ReadAccesses + s.WriteAccesses }
+
+// Check verifies counter consistency invariants.
+func (s Stats) Check() error {
+	if s.ReadHits+s.ReadMisses != s.ReadAccesses {
+		return fmt.Errorf("cache: read hits %d + misses %d != accesses %d", s.ReadHits, s.ReadMisses, s.ReadAccesses)
+	}
+	if s.WriteHits+s.WriteMisses != s.WriteAccesses {
+		return fmt.Errorf("cache: write hits %d + misses %d != accesses %d", s.WriteHits, s.WriteMisses, s.WriteAccesses)
+	}
+	if s.ReadRepl > s.ReadMisses {
+		return fmt.Errorf("cache: read replacements %d > read misses %d", s.ReadRepl, s.ReadMisses)
+	}
+	if s.WriteRepl > s.WriteMisses {
+		return fmt.Errorf("cache: write replacements %d > write misses %d", s.WriteRepl, s.WriteMisses)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp; larger = more recent
+}
+
+// Cache is one level of a set-associative write-back/write-allocate cache.
+// A nil next level means misses are serviced by memory (counted by the
+// owning Hierarchy).
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	next      *Cache
+	stamp     uint64
+	lineShift uint
+	setMask   uint64
+	// Stats for this level.
+	Stats Stats
+	// MemAccesses counts accesses this level forwarded to memory (only
+	// meaningful for the last level).
+	MemAccesses uint64
+}
+
+// New builds a cache level; next may be nil for the last level.
+func New(cfg Config, next *Cache) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, next: next}
+	sets := cfg.Sets()
+	c.sets = make([][]line, sets)
+	backing := make([]line, sets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	for shift := uint(0); ; shift++ {
+		if 1<<shift == cfg.LineBytes {
+			c.lineShift = shift
+			break
+		}
+	}
+	c.setMask = uint64(sets - 1)
+	return c, nil
+}
+
+// MustNew is New that panics on invalid geometry (for static tables).
+func MustNew(cfg Config, next *Cache) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the level's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access performs one access covering [addr, addr+size); accesses spanning
+// multiple lines touch each line once. write selects the write path.
+// It returns the deepest service depth across the touched lines: 1 means
+// this level hit, 2 the next level, and so on; a miss in the last level
+// returns one beyond the level count (memory).
+func (c *Cache) Access(addr uint64, size uint32, write bool) int {
+	if size == 0 {
+		size = 1
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(size) - 1) >> c.lineShift
+	depth := 0
+	for ln := first; ln <= last; ln++ {
+		if d := c.accessLine(ln, write); d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// accessLine handles one line-granular access and returns the service depth.
+func (c *Cache) accessLine(lineAddr uint64, write bool) int {
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr // full line address as tag keeps the mapping injective
+	c.stamp++
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	// Hit?
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+				c.Stats.WriteHits++
+			} else {
+				c.Stats.ReadHits++
+			}
+			return 1
+		}
+	}
+	// Miss.
+	if write {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	// Fetch from next level (write-allocate: the line is read first).
+	depth := 2
+	if c.next != nil {
+		depth = 1 + c.next.accessLine(lineAddr, false)
+	} else {
+		c.MemAccesses++
+	}
+	// Choose victim: invalid way first, else LRU.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		// Valid line evicted: replacement.
+		if write {
+			c.Stats.WriteRepl++
+		} else {
+			c.Stats.ReadRepl++
+		}
+		if set[victim].dirty {
+			c.Stats.Writebacks++
+			if c.next != nil {
+				c.next.accessLine(set[victim].tag, true)
+			} else {
+				c.MemAccesses++
+			}
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return depth
+}
+
+// Reset clears contents and statistics (cold caches, as the paper flushes
+// caches before each benchmark repetition).
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.Stats = Stats{}
+	c.MemAccesses = 0
+	c.stamp = 0
+}

@@ -1,0 +1,91 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig describes a full CPU cache hierarchy in the shape of
+// Figure 3/Table I: split L1 (data + instruction), a unified L2, and an
+// optional last-level L3 (only the x86 CPU of the paper has one).
+type HierarchyConfig struct {
+	L1D Config
+	L1I Config
+	L2  Config
+	// L3 is optional; a zero SizeBytes means no L3.
+	L3 Config
+}
+
+// HasL3 reports whether the hierarchy includes a last-level cache.
+func (h HierarchyConfig) HasL3() bool { return h.L3.SizeBytes > 0 }
+
+// Hierarchy is an instantiated cache hierarchy: L1D and L1I both miss into
+// the unified L2, which misses into L3 (if present) and then memory.
+type Hierarchy struct {
+	Cfg HierarchyConfig
+	L1D *Cache
+	L1I *Cache
+	L2  *Cache
+	L3  *Cache // nil when absent
+}
+
+// NewHierarchy builds the hierarchy from a configuration.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	var l3 *Cache
+	var err error
+	if cfg.HasL3() {
+		l3, err = New(cfg.L3, nil)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	l2, err := New(cfg.L2, l3)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	l1d, err := New(cfg.L1D, l2)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	l1i, err := New(cfg.L1I, l2)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Hierarchy{Cfg: cfg, L1D: l1d, L1I: l1i, L2: l2, L3: l3}, nil
+}
+
+// Data performs a data access of size bytes and returns the service depth
+// (1 = L1D, 2 = L2, 3 = L3 or memory, ...).
+func (h *Hierarchy) Data(addr uint64, size uint32, write bool) int {
+	return h.L1D.Access(addr, size, write)
+}
+
+// Fetch performs an instruction fetch (read) of size bytes and returns the
+// service depth.
+func (h *Hierarchy) Fetch(addr uint64, size uint32) int {
+	return h.L1I.Access(addr, size, false)
+}
+
+// Levels returns the instantiated levels with names, in L1D, L1I, L2[, L3]
+// order (the fixed feature ordering used by the predictor).
+func (h *Hierarchy) Levels() []*Cache {
+	out := []*Cache{h.L1D, h.L1I, h.L2}
+	if h.L3 != nil {
+		out = append(out, h.L3)
+	}
+	return out
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels() {
+		c.Reset()
+	}
+}
+
+// CheckStats validates counter invariants on every level.
+func (h *Hierarchy) CheckStats() error {
+	for _, c := range h.Levels() {
+		if err := c.Stats.Check(); err != nil {
+			return fmt.Errorf("%s: %w", c.Config().Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SaveDataset writes a dataset as JSON (datasets are expensive to generate;
+// the experiment drivers cache them on disk).
+func SaveDataset(ds *Dataset, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(ds); err != nil {
+		return fmt.Errorf("core: encode dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	var ds Dataset
+	if err := json.NewDecoder(f).Decode(&ds); err != nil {
+		return nil, fmt.Errorf("core: decode dataset: %w", err)
+	}
+	return &ds, nil
+}
+
+// configKey fingerprints a dataset configuration for caching.
+func configKey(cfg DatasetConfig) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%v|%d|%d|%d|%+v|%d",
+		cfg.Arch, cfg.Scale, cfg.Groups, cfg.ImplsPerGroup, cfg.BatchSize,
+		cfg.NParallel, cfg.MeasureOpt, cfg.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+var (
+	memCacheMu sync.Mutex
+	memCache   = map[string]*Dataset{}
+)
+
+// CachedDataset returns the dataset for cfg, generating it at most once per
+// process (in-memory cache) and, when cacheDir is non-empty, persisting it
+// to disk across runs. The benchmark harness relies on this so that every
+// table/figure bench shares one corpus.
+func CachedDataset(cfg DatasetConfig, cacheDir string) (*Dataset, error) {
+	if cfg.FactoryFor != nil {
+		// Custom workload factories cannot be fingerprinted; generate fresh.
+		return GenerateDataset(cfg)
+	}
+	key := configKey(cfg)
+	memCacheMu.Lock()
+	if ds, ok := memCache[key]; ok {
+		memCacheMu.Unlock()
+		return ds, nil
+	}
+	memCacheMu.Unlock()
+
+	var path string
+	if cacheDir != "" {
+		path = filepath.Join(cacheDir, "dataset-"+key+".json")
+		if ds, err := LoadDataset(path); err == nil {
+			memCacheMu.Lock()
+			memCache[key] = ds
+			memCacheMu.Unlock()
+			return ds, nil
+		}
+	}
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := SaveDataset(ds, path); err != nil {
+			return nil, err
+		}
+	}
+	memCacheMu.Lock()
+	memCache[key] = ds
+	memCacheMu.Unlock()
+	return ds, nil
+}

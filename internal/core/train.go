@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/metrics"
+	"repro/internal/num"
+	"repro/internal/predictor"
+)
+
+// SplitIndices draws a random train/test split per group (the paper: 500
+// implementations per group, 100 in the test set, 10 random re-splits).
+type SplitIndices struct {
+	Train map[int][]int
+	Test  map[int][]int
+}
+
+// Split samples testPerGroup test indices per group.
+func (ds *Dataset) Split(rng *num.RNG, testPerGroup int) SplitIndices {
+	out := SplitIndices{Train: map[int][]int{}, Test: map[int][]int{}}
+	for _, g := range ds.Groups {
+		n := len(g.Impls)
+		nTest := testPerGroup
+		if nTest >= n {
+			nTest = n / 4
+		}
+		if nTest < 1 {
+			nTest = 1
+		}
+		perm := rng.Perm(n)
+		out.Test[g.Group] = append([]int(nil), perm[:nTest]...)
+		out.Train[g.Group] = append([]int(nil), perm[nTest:]...)
+	}
+	return out
+}
+
+// GroupNorm carries the oracle group statistics computed on the training
+// portion of one group: the Eq. (2) feature normalizer and the mean
+// reference time used for target normalization.
+type GroupNorm struct {
+	Norm     *features.Oracle
+	MeanTref float64
+}
+
+// groupNorm computes oracle statistics over the given implementation
+// indices.
+func groupNorm(g *GroupData, idx []int) GroupNorm {
+	samples := make([]features.Sample, 0, len(idx))
+	times := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		samples = append(samples, features.FromStats(g.Impls[i].Stats))
+		times = append(times, g.Impls[i].TrefSec)
+	}
+	return GroupNorm{Norm: features.NewOracle(samples), MeanTref: num.Mean(times)}
+}
+
+// TrainingMatrix assembles (X, y) over the training indices of the listed
+// groups, with per-group oracle normalization of features (Eq. 2) and
+// targets (run times normalized to the group, §III-D). It returns the
+// per-group statistics for test-time reuse.
+func TrainingMatrix(ds *Dataset, split SplitIndices, groups []int) (x [][]float64, y []float64, norms map[int]GroupNorm, err error) {
+	norms = map[int]GroupNorm{}
+	for _, gi := range groups {
+		g, ok := ds.GroupByIndex(gi)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("core: group %d not in dataset", gi)
+		}
+		idx := split.Train[gi]
+		gn := groupNorm(g, idx)
+		norms[gi] = gn
+		for _, i := range idx {
+			impl := &g.Impls[i]
+			s := features.FromStats(impl.Stats)
+			x = append(x, gn.Norm.Vector(s))
+			y = append(y, features.NormalizeTarget(impl.TrefSec, gn.MeanTref))
+		}
+	}
+	if len(x) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: empty training matrix")
+	}
+	return x, y, norms, nil
+}
+
+// PredictGroup scores the given implementations of one group with a trained
+// predictor using the provided feature normalizer (oracle statistics for
+// groups seen in training; a static/dynamic window for unseen groups).
+// It returns (scores, reference times) index-aligned.
+func PredictGroup(g *GroupData, idx []int, pred predictor.Predictor, norm features.Normalizer) (scores, tref []float64) {
+	for _, i := range idx {
+		impl := &g.Impls[i]
+		s := features.FromStats(impl.Stats)
+		norm.Observe(s)
+		scores = append(scores, pred.Predict(norm.Vector(s)))
+		tref = append(tref, impl.TrefSec)
+	}
+	return scores, tref
+}
+
+// EvalGroup computes the paper metrics for one group's test split.
+func EvalGroup(ds *Dataset, split SplitIndices, group int, pred predictor.Predictor, norm features.Normalizer) (metrics.Result, error) {
+	g, ok := ds.GroupByIndex(group)
+	if !ok {
+		return metrics.Result{}, fmt.Errorf("core: group %d not in dataset", group)
+	}
+	scores, tref := PredictGroup(g, split.Test[group], pred, norm)
+	return metrics.Evaluate(tref, scores), nil
+}
+
+// MedianPredictionEval reproduces the paper's evaluation protocol for
+// Tables III–V: nSplits random train/test splits; the predictor is retrained
+// per split; per-group metrics are computed on each split's test set and the
+// per-metric median across splits is reported.
+func MedianPredictionEval(ds *Dataset, makePred func() predictor.Predictor, groups []int, testPerGroup, nSplits int, rng *num.RNG) (map[int]metrics.Result, error) {
+	perGroup := map[int][]metrics.Result{}
+	for s := 0; s < nSplits; s++ {
+		split := ds.Split(rng.Split(), testPerGroup)
+		x, y, norms, err := TrainingMatrix(ds, split, groups)
+		if err != nil {
+			return nil, err
+		}
+		pred := makePred()
+		if err := pred.Fit(x, y); err != nil {
+			return nil, err
+		}
+		for _, gi := range groups {
+			res, err := EvalGroup(ds, split, gi, pred, norms[gi].Norm)
+			if err != nil {
+				return nil, err
+			}
+			perGroup[gi] = append(perGroup[gi], res)
+		}
+	}
+	out := map[int]metrics.Result{}
+	for gi, rs := range perGroup {
+		out[gi] = metrics.MedianOf(rs)
+	}
+	return out, nil
+}

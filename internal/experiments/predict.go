@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/num"
+	"repro/internal/predictor"
+	"repro/internal/predictor/registry"
+)
+
+// PredictionTable holds the Tables III–V payload for one architecture:
+// per-predictor, per-group median metrics over the random re-splits.
+type PredictionTable struct {
+	Arch    isa.Arch
+	Results map[string]map[int]metrics.Result // predictor → group → metrics
+	Groups  []int
+}
+
+// PredictionResults reproduces one of Tables III–V: every predictor is
+// trained Splits times on random train/test splits (all groups included, as
+// in §IV-C) and per-group median metrics are reported.
+func PredictionResults(cfg Config, arch isa.Arch) (*PredictionTable, error) {
+	ds, err := cfg.Dataset(arch)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]int, 0, len(ds.Groups))
+	for _, g := range ds.Groups {
+		groups = append(groups, g.Group)
+	}
+	sort.Ints(groups)
+	out := &PredictionTable{Arch: arch, Results: map[string]map[int]metrics.Result{}, Groups: groups}
+	rng := num.NewRNG(cfg.Seed + 100)
+	for _, name := range registry.Names() {
+		predName := name
+		predRng := rng.Split()
+		res, err := core.MedianPredictionEval(ds, func() predictor.Predictor {
+			return registry.MustNew(predName, predRng.Split())
+		}, groups, cfg.TestPerGroup, cfg.Splits, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", arch, name, err)
+		}
+		out.Results[name] = res
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout: one row per group, four
+// metric columns per predictor.
+func (t *PredictionTable) Render(w io.Writer) {
+	line(w, "Prediction results for %s-based CPU (median over splits)", t.Arch)
+	headers := []string{"ID"}
+	for _, name := range registry.Names() {
+		headers = append(headers,
+			name+" Etop1%", name+" Qlow%", name+" Qhigh%", name+" Rtop1%")
+	}
+	var rows [][]string
+	for _, g := range t.Groups {
+		row := []string{fmt.Sprintf("%d", g)}
+		for _, name := range registry.Names() {
+			r := t.Results[name][g]
+			row = append(row,
+				fmt.Sprintf("%.1f", r.Etop1),
+				fmt.Sprintf("%.1f", r.Qlow),
+				fmt.Sprintf("%.1f", r.Qhigh),
+				fmt.Sprintf("%.1f", r.Rtop1),
+			)
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, headers, rows)
+}
+
+// Summary aggregates a metric across groups for one predictor.
+func (t *PredictionTable) Summary(predName string, pick func(metrics.Result) float64) (mean, worst float64) {
+	n := 0
+	for _, g := range t.Groups {
+		v := pick(t.Results[predName][g])
+		mean += v
+		if v > worst {
+			worst = v
+		}
+		n++
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return mean, worst
+}
+
+// TableIII runs the x86 prediction table.
+func TableIII(cfg Config, w io.Writer) (*PredictionTable, error) {
+	t, err := PredictionResults(cfg, isa.X86)
+	if err != nil {
+		return nil, err
+	}
+	line(w, "Table III:")
+	t.Render(w)
+	return t, nil
+}
+
+// TableIV runs the ARM prediction table.
+func TableIV(cfg Config, w io.Writer) (*PredictionTable, error) {
+	t, err := PredictionResults(cfg, isa.ARM)
+	if err != nil {
+		return nil, err
+	}
+	line(w, "Table IV:")
+	t.Render(w)
+	return t, nil
+}
+
+// TableV runs the RISC-V prediction table.
+func TableV(cfg Config, w io.Writer) (*PredictionTable, error) {
+	t, err := PredictionResults(cfg, isa.RISCV)
+	if err != nil {
+		return nil, err
+	}
+	line(w, "Table V:")
+	t.Render(w)
+	return t, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ansor"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/num"
+	"repro/internal/te"
+)
+
+// SpeedupRow is the Eq. (4) analysis for one (architecture, group) pair: the
+// number K of parallel simulator instances needed to beat sequential native
+// measurement, over representative candidate implementations.
+type SpeedupRow struct {
+	Arch    isa.Arch
+	Group   int
+	KMin    int
+	KMax    int
+	TrefMin float64
+	TrefMax float64
+	TsimMin float64
+	TsimMax float64
+}
+
+// SpeedupSummary aggregates K over groups per architecture: the paper
+// reports K_x86 ∈ [7,97], K_ARM ∈ [4,31], K_RISC-V ∈ [3,21].
+type SpeedupSummary struct {
+	Arch isa.Arch
+	KMin int
+	KMax int
+}
+
+// Speedup reproduces the §IV Eq. (4) analysis. Reference times and
+// instruction counts are taken at paper scale: candidate schedules are
+// random auto-scheduler sketches of the paper-shaped kernels; instruction
+// counts come from the closed-form estimate; reference times extrapolate the
+// measured per-instruction rate of the dataset (per architecture and group);
+// simulator time uses the modelled gem5-class simulation rate.
+func Speedup(cfg Config, w io.Writer) ([]SpeedupRow, []SpeedupSummary, error) {
+	opt := hw.DefaultMeasureOptions()
+	var rows []SpeedupRow
+	var sums []SpeedupSummary
+	candPerGroup := 12
+	if cfg.Scale == te.ScaleTiny {
+		candPerGroup = 4
+	}
+	rng := num.NewRNG(cfg.Seed + 900)
+	for _, prof := range hw.Profiles() {
+		ds, err := cfg.Dataset(prof.Arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		archK := SpeedupSummary{Arch: prof.Arch, KMin: 1 << 30}
+		for _, gd := range ds.Groups {
+			group := gd.Group
+			// Per-instruction native rate measured on this group's dataset.
+			var rates []float64
+			for _, impl := range gd.Impls {
+				if impl.Stats.Total > 0 {
+					rates = append(rates, impl.TrefSec/float64(impl.Stats.Total))
+				}
+			}
+			rate := num.Median(rates)
+			// Representative paper-scale candidates.
+			factory := func() *te.Workload { return te.ConvGroup(te.ScalePaper, group) }
+			sketches, err := ansor.RandomSketches(factory, candPerGroup, rng.Split())
+			if err != nil {
+				return nil, nil, err
+			}
+			model := isa.Lookup(prof.Arch)
+			row := SpeedupRow{Arch: prof.Arch, Group: group, KMin: 1 << 30}
+			for _, s := range sketches {
+				prog, err := lower.Build(s, model)
+				if err != nil {
+					continue
+				}
+				instr := prog.StaticInstrEstimate()
+				tsim := hw.SimSeconds(instr, prof)
+				tref := rate * float64(instr)
+				k := hw.ParallelSimulators(tsim, tref, opt)
+				if k < row.KMin {
+					row.KMin, row.TrefMin, row.TsimMin = k, tref, tsim
+				}
+				if k > row.KMax {
+					row.KMax, row.TrefMax, row.TsimMax = k, tref, tsim
+				}
+			}
+			if row.KMin > row.KMax {
+				continue
+			}
+			rows = append(rows, row)
+			if row.KMin < archK.KMin {
+				archK.KMin = row.KMin
+			}
+			if row.KMax > archK.KMax {
+				archK.KMax = row.KMax
+			}
+		}
+		sums = append(sums, archK)
+	}
+	if w != nil {
+		line(w, "Eq. (4): parallel simulators K needed to beat native measurement")
+		line(w, "(N_exe=%d, t_cooldown=%.1fs, paper-scale kernels)", opt.Nexe, opt.CooldownSec)
+		headers := []string{"arch", "group", "K min", "K max", "tref[s] min", "tsim[s] min"}
+		var trows [][]string
+		for _, r := range rows {
+			trows = append(trows, []string{
+				string(r.Arch), fmt.Sprintf("%d", r.Group),
+				fmt.Sprintf("%d", r.KMin), fmt.Sprintf("%d", r.KMax),
+				fmt.Sprintf("%.3f", r.TrefMin), fmt.Sprintf("%.1f", r.TsimMin),
+			})
+		}
+		renderTable(w, headers, trows)
+		for _, s := range sums {
+			line(w, "K_%s ∈ [%d, %d]   (paper: x86 [7,97], ARM [4,31], RISC-V [3,21])",
+				s.Arch, s.KMin, s.KMax)
+		}
+	}
+	return rows, sums, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/te"
+)
+
+// TableI prints the cache sizes and hierarchy of the modelled CPUs
+// (paper Table I). The data comes straight from the hw profiles that the
+// simulators instantiate, so the printed table is the configuration actually
+// used by every experiment.
+func TableI(w io.Writer) {
+	line(w, "Table I: Cache sizes and hierarchy of the used CPUs")
+	headers := []string{"CPU", "level", "size", "sets", "assoc", "line"}
+	var rows [][]string
+	for _, prof := range hw.Profiles() {
+		cfgs := []struct {
+			name string
+			has  bool
+		}{{"L1D", true}, {"L1I", true}, {"L2", true}, {"L3", prof.Caches.HasL3()}}
+		for _, lv := range cfgs {
+			if !lv.has {
+				rows = append(rows, []string{string(prof.Arch), lv.name, "-", "-", "-", "-"})
+				continue
+			}
+			var c = prof.Caches.L1D
+			switch lv.name {
+			case "L1I":
+				c = prof.Caches.L1I
+			case "L2":
+				c = prof.Caches.L2
+			case "L3":
+				c = prof.Caches.L3
+			}
+			rows = append(rows, []string{
+				string(prof.Arch), lv.name,
+				fmt.Sprintf("%dK", c.SizeBytes/1024),
+				fmt.Sprintf("%d", c.Sets()),
+				fmt.Sprintf("%d", c.Assoc),
+				fmt.Sprintf("%dB", c.LineBytes),
+			})
+		}
+	}
+	renderTable(w, headers, rows)
+}
+
+// TableII prints the Conv2D+Bias+ReLU group shapes (paper Table II) at the
+// requested scale, alongside the exact paper shapes for reference.
+func TableII(w io.Writer, scale te.Scale) {
+	line(w, "Table II: Shapes of the used Conv2D+Bias+ReLU kernels (scale=%s)", scale)
+	headers := []string{"group", "N", "H", "W", "CO", "CI", "KH", "KW", "stride", "pad", "MACs"}
+	var rows [][]string
+	for g, p := range te.ConvGroupParams(scale) {
+		wl := te.ConvGroup(scale, g)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", g),
+			fmt.Sprintf("%d", p.N), fmt.Sprintf("%d", p.H), fmt.Sprintf("%d", p.W),
+			fmt.Sprintf("%d", p.CO), fmt.Sprintf("%d", p.CI),
+			fmt.Sprintf("%d", p.KH), fmt.Sprintf("%d", p.KW),
+			fmt.Sprintf("(%d,%d)", p.StrideH, p.StrideW),
+			fmt.Sprintf("(%d,%d)", p.PadH, p.PadW),
+			fmt.Sprintf("%d", wl.Op.MACs()),
+		})
+	}
+	renderTable(w, headers, rows)
+	if scale != te.ScalePaper {
+		line(w, "(paper scale for reference)")
+		TableII(w, te.ScalePaper)
+	}
+}

@@ -1,0 +1,237 @@
+// Package features turns instruction-accurate simulator statistics into the
+// predictor input vectors of the paper (§III-D):
+//
+//   - executed load/store/branch instructions divided by total instructions,
+//   - per-cache read/write hits, misses and replacements divided by the
+//     read/write accesses of that cache (Eq. 1),
+//   - every parameter additionally in group-normalized form
+//     P_norm = (P − mean(P)) / mean(P) (Eq. 2),
+//   - the total instruction count normalized to the group.
+//
+// Group means are exact during training; at inference the paper approximates
+// them with a static window (mean of the first w samples) or a dynamic
+// window (running mean), both implemented here (§III-E).
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sample is the raw parameter vector of one implementation plus its total
+// instruction count (kept separate because the total only enters the feature
+// vector in group-normalized form).
+type Sample struct {
+	Raw   []float64
+	Total float64
+}
+
+// perCacheRatios is the number of Eq. (1) ratios per cache level.
+const perCacheRatios = 6
+
+// FromStats extracts the raw parameters from simulator statistics.
+func FromStats(st *sim.Stats) Sample {
+	total := float64(st.Total)
+	if total == 0 {
+		total = 1
+	}
+	raw := make([]float64, 0, 3+perCacheRatios*len(st.Caches))
+	raw = append(raw,
+		float64(st.Loads)/total,
+		float64(st.Stores)/total,
+		float64(st.Branches)/total,
+	)
+	for _, lv := range st.Caches {
+		s := lv.Stats
+		raw = append(raw,
+			ratio(s.ReadHits, s.ReadAccesses),
+			ratio(s.ReadMisses, s.ReadAccesses),
+			ratio(s.ReadRepl, s.ReadAccesses),
+			ratio(s.WriteHits, s.WriteAccesses),
+			ratio(s.WriteMisses, s.WriteAccesses),
+			ratio(s.WriteRepl, s.WriteAccesses),
+		)
+	}
+	return Sample{Raw: raw, Total: float64(st.Total)}
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Names returns human-readable feature names for the final vector produced
+// by a normalizer over stats with the given cache level names.
+func Names(cacheLevels []string) []string {
+	raw := []string{"load_frac", "store_frac", "branch_frac"}
+	for _, lv := range cacheLevels {
+		for _, r := range []string{"rd_hit", "rd_miss", "rd_repl", "wr_hit", "wr_miss", "wr_repl"} {
+			raw = append(raw, fmt.Sprintf("%s_%s", lv, r))
+		}
+	}
+	out := append([]string{}, raw...)
+	for _, n := range raw {
+		out = append(out, n+"_norm")
+	}
+	out = append(out, "total_instr_norm")
+	return out
+}
+
+// Normalizer provides group means for Eq. (2). Implementations differ in how
+// the means are obtained (oracle, static window, dynamic window).
+type Normalizer interface {
+	// Observe feeds one sample into the mean estimate (no-op for oracle).
+	Observe(s Sample)
+	// Vector builds the full feature vector: raw ++ normalized ++ total_norm.
+	Vector(s Sample) []float64
+	// Ready reports whether the normalizer has enough data to normalize.
+	Ready() bool
+	// Name identifies the strategy (for ablation reports).
+	Name() string
+}
+
+// vectorWith builds the feature vector given group means.
+func vectorWith(s Sample, meanRaw []float64, meanTotal float64) []float64 {
+	out := make([]float64, 0, 2*len(s.Raw)+1)
+	out = append(out, s.Raw...)
+	for i, v := range s.Raw {
+		out = append(out, normEq2(v, meanRaw[i]))
+	}
+	out = append(out, normEq2(s.Total, meanTotal))
+	return out
+}
+
+// normEq2 is Eq. (2): (P − mean)/mean, 0 when the mean vanishes.
+func normEq2(v, mean float64) float64 {
+	if mean == 0 {
+		return 0
+	}
+	return (v - mean) / mean
+}
+
+// NormalizeTarget applies the paper's output normalization: run times
+// normalized to the group mean (same form as Eq. 2).
+func NormalizeTarget(t, meanT float64) float64 { return normEq2(t, meanT) }
+
+// meanAccum incrementally tracks per-feature means.
+type meanAccum struct {
+	sumRaw   []float64
+	sumTotal float64
+	n        int
+}
+
+func (m *meanAccum) add(s Sample) {
+	if m.sumRaw == nil {
+		m.sumRaw = make([]float64, len(s.Raw))
+	}
+	for i, v := range s.Raw {
+		m.sumRaw[i] += v
+	}
+	m.sumTotal += s.Total
+	m.n++
+}
+
+func (m *meanAccum) means() ([]float64, float64) {
+	if m.n == 0 {
+		return nil, 0
+	}
+	mr := make([]float64, len(m.sumRaw))
+	for i, v := range m.sumRaw {
+		mr[i] = v / float64(m.n)
+	}
+	return mr, m.sumTotal / float64(m.n)
+}
+
+// Oracle normalizes with exact group means computed from a full sample set
+// (the training-phase setting, where all implementations are known).
+type Oracle struct {
+	meanRaw   []float64
+	meanTotal float64
+}
+
+// NewOracle computes exact means over the given samples.
+func NewOracle(samples []Sample) *Oracle {
+	acc := meanAccum{}
+	for _, s := range samples {
+		acc.add(s)
+	}
+	mr, mt := acc.means()
+	return &Oracle{meanRaw: mr, meanTotal: mt}
+}
+
+// Observe is a no-op: oracle means are fixed.
+func (o *Oracle) Observe(Sample) {}
+
+// Vector implements Normalizer.
+func (o *Oracle) Vector(s Sample) []float64 { return vectorWith(s, o.meanRaw, o.meanTotal) }
+
+// Ready implements Normalizer.
+func (o *Oracle) Ready() bool { return o.meanRaw != nil }
+
+// Name implements Normalizer.
+func (o *Oracle) Name() string { return "oracle" }
+
+// StaticWindow estimates group means from the first W observed samples and
+// freezes them afterwards (§III-E "static window").
+type StaticWindow struct {
+	W   int
+	acc meanAccum
+}
+
+// NewStaticWindow creates a static-window normalizer of width w.
+func NewStaticWindow(w int) *StaticWindow { return &StaticWindow{W: w} }
+
+// Observe adds a sample while fewer than W have been seen.
+func (sw *StaticWindow) Observe(s Sample) {
+	if sw.acc.n < sw.W {
+		sw.acc.add(s)
+	}
+}
+
+// Vector implements Normalizer using the frozen (or growing) window means.
+func (sw *StaticWindow) Vector(s Sample) []float64 {
+	mr, mt := sw.acc.means()
+	if mr == nil {
+		mr = make([]float64, len(s.Raw))
+	}
+	return vectorWith(s, mr, mt)
+}
+
+// Ready implements Normalizer.
+func (sw *StaticWindow) Ready() bool { return sw.acc.n >= sw.W }
+
+// Name implements Normalizer.
+func (sw *StaticWindow) Name() string { return fmt.Sprintf("static_w%d", sw.W) }
+
+// DynamicWindow keeps a running mean over every observed sample, adapting
+// over time (§III-E "dynamic window").
+type DynamicWindow struct {
+	acc meanAccum
+}
+
+// NewDynamicWindow creates a dynamic-window normalizer.
+func NewDynamicWindow() *DynamicWindow { return &DynamicWindow{} }
+
+// Observe adds a sample to the running mean.
+func (dw *DynamicWindow) Observe(s Sample) { dw.acc.add(s) }
+
+// Vector implements Normalizer with the current running means.
+func (dw *DynamicWindow) Vector(s Sample) []float64 {
+	mr, mt := dw.acc.means()
+	if mr == nil {
+		mr = make([]float64, len(s.Raw))
+	}
+	return vectorWith(s, mr, mt)
+}
+
+// Ready implements Normalizer.
+func (dw *DynamicWindow) Ready() bool { return dw.acc.n > 0 }
+
+// Name implements Normalizer.
+func (dw *DynamicWindow) Name() string { return "dynamic" }
+
+// Dim returns the final feature-vector length for a raw parameter count.
+func Dim(rawLen int) int { return 2*rawLen + 1 }

@@ -1,0 +1,204 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func fakeStats() *sim.Stats {
+	st := &sim.Stats{Arch: isa.X86}
+	st.Instr[isa.Load] = 40
+	st.Instr[isa.VLoad] = 10
+	st.Instr[isa.Store] = 10
+	st.Instr[isa.FMA] = 30
+	st.Instr[isa.Branch] = 10
+	st.Total = 100
+	st.Loads = 50
+	st.Stores = 10
+	st.Branches = 10
+	st.Caches = []sim.LevelStats{
+		{Name: "L1D", Stats: cache.Stats{
+			ReadAccesses: 100, ReadHits: 90, ReadMisses: 10, ReadRepl: 5,
+			WriteAccesses: 50, WriteHits: 40, WriteMisses: 10, WriteRepl: 2,
+		}},
+		{Name: "L2", Stats: cache.Stats{
+			ReadAccesses: 10, ReadHits: 8, ReadMisses: 2,
+		}},
+	}
+	return st
+}
+
+func TestFromStatsRatios(t *testing.T) {
+	s := FromStats(fakeStats())
+	if len(s.Raw) != 3+2*perCacheRatios {
+		t.Fatalf("raw len = %d", len(s.Raw))
+	}
+	if s.Raw[0] != 0.5 || s.Raw[1] != 0.1 || s.Raw[2] != 0.1 {
+		t.Fatalf("instr mix = %v", s.Raw[:3])
+	}
+	// L1D read hit ratio (Eq. 1): 90/100.
+	if s.Raw[3] != 0.9 {
+		t.Fatalf("L1D rd_hit = %v", s.Raw[3])
+	}
+	// L1D write miss ratio: 10/50.
+	if s.Raw[7] != 0.2 {
+		t.Fatalf("L1D wr_miss = %v", s.Raw[7])
+	}
+	// L2 has no writes: write ratios must be 0, not NaN.
+	for i := 12; i < 15; i++ {
+		_ = i
+	}
+	if s.Raw[12] != 0 && s.Raw[13] != 0 {
+		t.Fatalf("L2 write ratios should be 0: %v", s.Raw[9:])
+	}
+	if s.Total != 100 {
+		t.Fatalf("total = %v", s.Total)
+	}
+}
+
+func TestFromStatsZeroTotal(t *testing.T) {
+	st := &sim.Stats{}
+	s := FromStats(st)
+	for _, v := range s.Raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("zero-instruction stats must not produce NaN")
+		}
+	}
+}
+
+func TestNormEq2(t *testing.T) {
+	if normEq2(12, 10) != 0.2 {
+		t.Fatalf("eq2 = %v", normEq2(12, 10))
+	}
+	if normEq2(5, 0) != 0 {
+		t.Fatal("zero mean must give 0")
+	}
+	if NormalizeTarget(8, 10) != -0.2 {
+		t.Fatalf("target norm = %v", NormalizeTarget(8, 10))
+	}
+}
+
+func TestOracleVector(t *testing.T) {
+	a := Sample{Raw: []float64{1, 2}, Total: 100}
+	b := Sample{Raw: []float64{3, 2}, Total: 300}
+	o := NewOracle([]Sample{a, b})
+	if !o.Ready() {
+		t.Fatal("oracle with samples must be ready")
+	}
+	v := o.Vector(a)
+	if len(v) != Dim(2) {
+		t.Fatalf("vector len = %d want %d", len(v), Dim(2))
+	}
+	// raw part passes through
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatalf("raw part = %v", v[:2])
+	}
+	// normalized: (1-2)/2 = -0.5 ; (2-2)/2 = 0
+	if v[2] != -0.5 || v[3] != 0 {
+		t.Fatalf("norm part = %v", v[2:4])
+	}
+	// total: (100-200)/200 = -0.5
+	if v[4] != -0.5 {
+		t.Fatalf("total norm = %v", v[4])
+	}
+}
+
+func TestStaticWindowFreezes(t *testing.T) {
+	sw := NewStaticWindow(2)
+	if sw.Ready() {
+		t.Fatal("empty static window must not be ready")
+	}
+	sw.Observe(Sample{Raw: []float64{1}, Total: 10})
+	sw.Observe(Sample{Raw: []float64{3}, Total: 30})
+	if !sw.Ready() {
+		t.Fatal("static window must be ready at w samples")
+	}
+	// Further observations must be ignored.
+	sw.Observe(Sample{Raw: []float64{100}, Total: 1000})
+	v := sw.Vector(Sample{Raw: []float64{2}, Total: 20})
+	// mean stays 2 → norm = 0; total mean stays 20 → 0.
+	if v[1] != 0 || v[2] != 0 {
+		t.Fatalf("static window drifted: %v", v)
+	}
+	if sw.Name() != "static_w2" {
+		t.Fatalf("name = %s", sw.Name())
+	}
+}
+
+func TestDynamicWindowAdapts(t *testing.T) {
+	dw := NewDynamicWindow()
+	dw.Observe(Sample{Raw: []float64{1}, Total: 10})
+	v1 := dw.Vector(Sample{Raw: []float64{1}, Total: 10})
+	if v1[1] != 0 {
+		t.Fatalf("first norm = %v", v1[1])
+	}
+	dw.Observe(Sample{Raw: []float64{3}, Total: 30})
+	v2 := dw.Vector(Sample{Raw: []float64{2}, Total: 20})
+	// mean now 2 → norm 0; before second Observe the mean was 1.
+	if v2[1] != 0 {
+		t.Fatalf("dynamic mean wrong: %v", v2)
+	}
+	if dw.Name() != "dynamic" {
+		t.Fatalf("name = %s", dw.Name())
+	}
+}
+
+func TestWindowConvergesToOracle(t *testing.T) {
+	// With enough observations the dynamic window must match oracle means.
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i] = Sample{Raw: []float64{float64(i % 10)}, Total: float64(100 + i%7)}
+	}
+	o := NewOracle(samples)
+	dw := NewDynamicWindow()
+	for _, s := range samples {
+		dw.Observe(s)
+	}
+	probe := Sample{Raw: []float64{5}, Total: 100}
+	vo := o.Vector(probe)
+	vd := dw.Vector(probe)
+	for i := range vo {
+		if math.Abs(vo[i]-vd[i]) > 1e-12 {
+			t.Fatalf("dynamic window diverges from oracle at %d: %v vs %v", i, vd[i], vo[i])
+		}
+	}
+}
+
+func TestUnreadyNormalizersProduceFiniteVectors(t *testing.T) {
+	s := Sample{Raw: []float64{1, 2}, Total: 5}
+	for _, n := range []Normalizer{NewStaticWindow(4), NewDynamicWindow()} {
+		v := n.Vector(s)
+		if len(v) != Dim(2) {
+			t.Fatalf("%s: len %d", n.Name(), len(v))
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s: non-finite feature", n.Name())
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names([]string{"L1D", "L1I", "L2", "L3"})
+	wantRaw := 3 + 4*perCacheRatios
+	if len(names) != Dim(wantRaw) {
+		t.Fatalf("names = %d want %d", len(names), Dim(wantRaw))
+	}
+	if names[0] != "load_frac" || names[len(names)-1] != "total_instr_norm" {
+		t.Fatalf("name order wrong: %v ... %v", names[0], names[len(names)-1])
+	}
+	if names[3] != "L1D_rd_hit" {
+		t.Fatalf("cache names wrong: %v", names[3])
+	}
+}
+
+func TestDim(t *testing.T) {
+	if Dim(27) != 55 || Dim(21) != 43 {
+		t.Fatal("feature dims wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package hw
+
+import (
+	"repro/internal/cache"
+	"repro/internal/lower"
+)
+
+// Machine is the cycle-approximate timing model of one target CPU. It
+// implements lower.Sink: feed it a program execution and read Seconds().
+//
+// It deliberately models effects the instruction-accurate simulator cannot
+// see, so that reference times are a richer function of the instruction
+// stream than the IA statistics (the learning problem of the paper):
+//
+//   - per-class issue costs (wide OoO x86 retires more per cycle than the
+//     dual-issue in-order U74),
+//   - cache-miss latencies damped by an out-of-order/MLP overlap factor,
+//   - a stream prefetcher that hides most of the latency of unit-stride
+//     misses (aggressive on x86, nearly absent on the U74),
+//   - branch-mispredict penalties on loop exits and periodically on guard
+//     branches.
+type Machine struct {
+	Prof   Profile
+	hier   *cache.Hierarchy
+	cycles float64
+
+	lastLine uint64
+	haveLine bool
+
+	guardBranches uint64
+	mispredicts   uint64
+
+	// streams maps a 4 KiB page to the last missed line address within it,
+	// implementing a unit-stride stream detector.
+	streams map[uint64]uint64
+}
+
+// NewMachine builds the timing model for a profile.
+func NewMachine(prof Profile) (*Machine, error) {
+	h, err := cache.NewHierarchy(prof.Caches)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Prof: prof, hier: h, streams: make(map[uint64]uint64, 64)}, nil
+}
+
+// Consume implements lower.Sink.
+func (m *Machine) Consume(events []lower.Event) {
+	t := &m.Prof.Timing
+	for i := range events {
+		e := &events[i]
+		m.cycles += t.IssueCost[e.Class]
+
+		// Front end: instruction fetch at line granularity.
+		line := e.PC &^ 63
+		if !m.haveLine || line != m.lastLine {
+			if depth := m.hier.Fetch(line, 1); depth > 1 {
+				m.cycles += t.Latency[depth] * (1 - t.MLPOverlap)
+			}
+			m.lastLine = line
+			m.haveLine = true
+		}
+
+		switch {
+		case e.Class.IsLoad(), e.Class.IsStore():
+			write := e.Class.IsStore()
+			depth := m.hier.Data(e.Addr, uint32(e.Size), write)
+			if depth > 1 {
+				lat := t.Latency[depth]
+				if m.streamHit(e.Addr) {
+					lat *= 1 - t.PrefetchEff
+				}
+				// Store misses are mostly hidden by write buffers; charge
+				// a quarter of the load penalty.
+				if write {
+					lat *= 0.25
+				}
+				m.cycles += lat * (1 - t.MLPOverlap)
+			}
+		case e.Flags&lower.FlagLoopExit != 0:
+			m.cycles += t.MispredictPenalty
+			m.mispredicts++
+		case e.Flags&lower.FlagGuard != 0:
+			m.guardBranches++
+			if t.GuardMispredictEvery > 0 && m.guardBranches%t.GuardMispredictEvery == 0 {
+				m.cycles += t.MispredictPenalty
+				m.mispredicts++
+			}
+		}
+	}
+}
+
+// streamHit updates the unit-stride detector and reports whether the missed
+// line continues a detected stream (and would have been prefetched).
+func (m *Machine) streamHit(addr uint64) bool {
+	page := addr >> 12
+	line := addr >> 6
+	last, ok := m.streams[page]
+	m.streams[page] = line
+	if len(m.streams) > 4096 { // bound the table like real prefetchers do
+		for k := range m.streams {
+			delete(m.streams, k)
+			if len(m.streams) <= 64 {
+				break
+			}
+		}
+	}
+	return ok && (line == last+1 || line == last)
+}
+
+// Cycles returns the accumulated cycle count.
+func (m *Machine) Cycles() float64 { return m.cycles }
+
+// Mispredicts returns the modelled branch mispredictions.
+func (m *Machine) Mispredicts() uint64 { return m.mispredicts }
+
+// Seconds converts cycles to wall time at the profile's clock and adds the
+// fixed per-run call overhead.
+func (m *Machine) Seconds() float64 {
+	return m.cycles/(m.Prof.FreqGHz*1e9) + m.Prof.Timing.CallOverheadSec
+}
+
+// Reset clears cycles, caches and predictor state for a fresh run.
+func (m *Machine) Reset() {
+	m.cycles = 0
+	m.haveLine = false
+	m.guardBranches = 0
+	m.mispredicts = 0
+	m.hier.Reset()
+	m.streams = make(map[uint64]uint64, 64)
+}

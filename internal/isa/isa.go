@@ -1,0 +1,120 @@
+// Package isa models the three instruction-set architectures of the paper's
+// evaluation (x86, ARM, RISC-V) at the level the instruction-accurate
+// simulator needs: instruction classes, SIMD width, architectural register
+// counts (driving the register-tile spill model), and code density for the
+// L1I footprint of generated loop bodies.
+package isa
+
+import "fmt"
+
+// Class is an abstract instruction class emitted by the code generator.
+type Class uint8
+
+// Instruction classes.
+const (
+	// Load is a scalar data load.
+	Load Class = iota
+	// Store is a scalar data store.
+	Store
+	// VLoad is a SIMD data load (one instruction, Lanes elements).
+	VLoad
+	// VStore is a SIMD data store.
+	VStore
+	// ALU is scalar integer/address arithmetic.
+	ALU
+	// FMA is a scalar floating multiply-accumulate (or mul/add pair slot).
+	FMA
+	// VFMA is a SIMD floating multiply-accumulate.
+	VFMA
+	// Branch is a conditional or unconditional branch.
+	Branch
+	// NumClasses is the class count (for stat arrays).
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case VLoad:
+		return "vload"
+	case VStore:
+		return "vstore"
+	case ALU:
+		return "alu"
+	case FMA:
+		return "fma"
+	case VFMA:
+		return "vfma"
+	case Branch:
+		return "branch"
+	}
+	return fmt.Sprintf("class%d", uint8(c))
+}
+
+// IsLoad reports whether the class reads data memory.
+func (c Class) IsLoad() bool { return c == Load || c == VLoad }
+
+// IsStore reports whether the class writes data memory.
+func (c Class) IsStore() bool { return c == Store || c == VStore }
+
+// IsVector reports whether the class is a SIMD operation.
+func (c Class) IsVector() bool { return c == VLoad || c == VStore || c == VFMA }
+
+// Arch identifies a target instruction-set architecture.
+type Arch string
+
+// The three evaluated architectures (§IV).
+const (
+	X86   Arch = "x86"
+	ARM   Arch = "arm"
+	RISCV Arch = "riscv"
+)
+
+// Archs lists all targets in paper order.
+func Archs() []Arch { return []Arch{X86, ARM, RISCV} }
+
+// ParseArch converts a flag string to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch Arch(s) {
+	case X86, ARM, RISCV:
+		return Arch(s), nil
+	}
+	return "", fmt.Errorf("isa: unknown arch %q (want x86|arm|riscv)", s)
+}
+
+// Model describes one ISA for code generation and simulation.
+type Model struct {
+	Arch Arch
+	// Lanes is the number of float32 SIMD lanes (1 = no vectors).
+	Lanes int
+	// GPRegs is the number of allocatable general-purpose registers
+	// (addresses, scalar ints).
+	GPRegs int
+	// FPRegs is the number of allocatable FP/vector registers.
+	FPRegs int
+	// InstBytes is the average encoded instruction size, which sets the L1I
+	// footprint of generated code.
+	InstBytes int
+}
+
+// Lookup returns the ISA model for an architecture.
+//
+// x86-64: AVX2 (8×f32), 16 GP + 16 YMM registers, ~4 B average instruction
+// length (variable-length encoding).
+// AArch64 (Cortex-A72): NEON (4×f32), 31 GP + 32 SIMD registers, 4 B fixed.
+// RV64GC (SiFive U74): no vector unit, 32 GP + 32 FP registers, ~3 B average
+// (compressed extension mixes 2 B and 4 B encodings).
+func Lookup(a Arch) Model {
+	switch a {
+	case X86:
+		return Model{Arch: X86, Lanes: 8, GPRegs: 16, FPRegs: 16, InstBytes: 4}
+	case ARM:
+		return Model{Arch: ARM, Lanes: 4, GPRegs: 31, FPRegs: 32, InstBytes: 4}
+	case RISCV:
+		return Model{Arch: RISCV, Lanes: 1, GPRegs: 32, FPRegs: 32, InstBytes: 3}
+	}
+	panic(fmt.Sprintf("isa: unknown arch %q", a))
+}

@@ -1,0 +1,87 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                   Class
+		load, store, vector bool
+	}{
+		{Load, true, false, false},
+		{VLoad, true, false, true},
+		{Store, false, true, false},
+		{VStore, false, true, true},
+		{ALU, false, false, false},
+		{FMA, false, false, false},
+		{VFMA, false, false, true},
+		{Branch, false, false, false},
+	}
+	for _, c := range cases {
+		if c.c.IsLoad() != c.load || c.c.IsStore() != c.store || c.c.IsVector() != c.vector {
+			t.Fatalf("%s predicates wrong", c.c)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		s := c.String()
+		if s == "" || len(s) >= 5 && s[:5] == "class" {
+			t.Fatalf("class %d has placeholder name %q", c, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+	if Class(200).String() != "class200" {
+		t.Fatalf("unknown class string = %q", Class(200).String())
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	for _, a := range Archs() {
+		got, err := ParseArch(string(a))
+		if err != nil || got != a {
+			t.Fatalf("ParseArch(%s) = %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseArch("sparc"); err == nil {
+		t.Fatal("unknown arch must error")
+	}
+}
+
+func TestLookupModels(t *testing.T) {
+	x := Lookup(X86)
+	if x.Lanes != 8 || x.GPRegs != 16 || x.FPRegs != 16 {
+		t.Fatalf("x86 model wrong: %+v", x)
+	}
+	a := Lookup(ARM)
+	if a.Lanes != 4 || a.GPRegs != 31 || a.FPRegs != 32 {
+		t.Fatalf("arm model wrong: %+v", a)
+	}
+	r := Lookup(RISCV)
+	if r.Lanes != 1 {
+		t.Fatalf("U74 must have no SIMD: %+v", r)
+	}
+	if r.InstBytes >= a.InstBytes {
+		t.Fatal("RVC compressed code must be denser than fixed-width AArch64")
+	}
+}
+
+func TestLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Lookup(Arch("mips"))
+}
+
+func TestArchsOrder(t *testing.T) {
+	a := Archs()
+	if len(a) != 3 || a[0] != X86 || a[1] != ARM || a[2] != RISCV {
+		t.Fatalf("paper order violated: %v", a)
+	}
+}

@@ -1,0 +1,131 @@
+package lower
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/num"
+	"repro/internal/schedule"
+	"repro/internal/te"
+	"repro/internal/tensor"
+)
+
+// regionSink validates that every data access lands inside a known region
+// (an input tensor, the output tensor, or the spill stack) and every fetch
+// lands inside the code segment.
+type regionSink struct {
+	t       *testing.T
+	data    []region
+	code    region
+	checked uint64
+}
+
+type region struct {
+	name   string
+	lo, hi uint64 // [lo, hi)
+}
+
+func newRegionSink(t *testing.T, p *Program) *regionSink {
+	rs := &regionSink{t: t}
+	for _, in := range p.Op.Inputs {
+		rs.data = append(rs.data, region{in.Name, in.Base, in.Base + in.Bytes()})
+	}
+	out := p.Op.Out
+	rs.data = append(rs.data, region{out.Name, out.Base, out.Base + out.Bytes()})
+	stackBytes := uint64(p.TileCount()) * tensor.ElemSize
+	if stackBytes < 64 {
+		stackBytes = 64
+	}
+	rs.data = append(rs.data, region{"stack", p.stackBase, p.stackBase + stackBytes})
+	rs.code = region{"code", p.codeBase, p.codeBase + p.CodeBytes()}
+	return rs
+}
+
+func (rs *regionSink) Consume(events []Event) {
+	for i := range events {
+		e := &events[i]
+		if e.PC < rs.code.lo || e.PC >= rs.code.hi {
+			rs.t.Errorf("PC %#x outside code segment [%#x,%#x)", e.PC, rs.code.lo, rs.code.hi)
+			return
+		}
+		if !e.Class.IsLoad() && !e.Class.IsStore() {
+			continue
+		}
+		rs.checked++
+		lo, hi := e.Addr, e.Addr+uint64(e.Size)
+		ok := false
+		for _, r := range rs.data {
+			if lo >= r.lo && hi <= r.hi {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			rs.t.Errorf("data access [%#x,%#x) (%s) outside all tensor/stack regions",
+				lo, hi, e.Class)
+			return
+		}
+	}
+}
+
+// Every address emitted by any random schedule must stay within its declared
+// regions — the memory-safety invariant of the virtual address space.
+func TestAllAddressesWithinRegions(t *testing.T) {
+	rng := num.NewRNG(909)
+	for trial := 0; trial < 20; trial++ {
+		var wl *te.Workload
+		switch trial % 4 {
+		case 0:
+			wl = te.ConvGroup(te.ScaleTiny, trial%te.NumConvGroups)
+		case 1:
+			wl = te.MatMul(6+rng.Intn(10), 4+rng.Intn(8), 6+rng.Intn(10))
+		case 2:
+			wl = te.MaxPool2d(1, 2, 8, 8, 2, 2)
+		default:
+			wl = te.DenseBiasRelu(2, 12, 8)
+		}
+		s := randomSchedule(rng, wl.Op)
+		model := isa.Lookup(isa.Archs()[trial%3])
+		p, err := Build(s, model)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rs := newRegionSink(t, p)
+		Execute(p, rs, false)
+		if t.Failed() {
+			t.Fatalf("trial %d failed (schedule %s)", trial, s)
+		}
+		if rs.checked == 0 {
+			t.Fatalf("trial %d: no data accesses checked", trial)
+		}
+	}
+}
+
+// Spilled schedules must confine their spill traffic to the stack region and
+// never corrupt tensor data.
+func TestSpillTrafficStaysOnStack(t *testing.T) {
+	wl := te.MatMul(16, 8, 16)
+	s := scheduleWithHugeTile(t, wl)
+	p, err := Build(s, isa.Lookup(isa.X86))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SpillRegisters() == 0 {
+		t.Fatal("test requires a spilling schedule")
+	}
+	rs := newRegionSink(t, p)
+	Execute(p, rs, false)
+	if t.Failed() {
+		t.Fatal("spill traffic escaped its regions")
+	}
+}
+
+func scheduleWithHugeTile(t *testing.T, wl *te.Workload) *schedule.Schedule {
+	t.Helper()
+	s := schedule.New(wl.Op)
+	i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+	if err := s.Reorder([]*schedule.IterVar{k, i, j}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

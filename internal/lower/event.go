@@ -1,0 +1,113 @@
+// Package lower compiles a scheduled tensor kernel into an executable
+// loop-nest Program for one target ISA — the analogue of TVM's lowering plus
+// LLVM code generation in the paper's flow. Executing a Program produces the
+// instruction/memory event stream that both back-ends consume:
+//
+//   - the instruction-accurate simulator (internal/sim), which counts
+//     instruction classes and drives the Table I cache hierarchy and plays
+//     the role of gem5 in atomic mode, and
+//   - the timing model (internal/hw), which additionally accumulates cycles
+//     and plays the role of the real target hardware.
+//
+// The lowering reproduces the mechanisms that make different schedules of
+// one kernel behave differently on hardware: loop tiling changes locality,
+// unrolling removes branch overhead but grows the code footprint (L1I),
+// vectorization turns contiguous scalar loads/FMAs into SIMD ones, invariant
+// loads are hoisted out of inner loops, register-tile accumulators that
+// exceed the architectural register file spill to the stack, and split tails
+// or padding emit guard instructions.
+package lower
+
+import "repro/internal/isa"
+
+// Event flags.
+const (
+	// FlagLoopExit marks the final (fall-through) branch of a loop, the
+	// natural branch-misprediction point of counted loops.
+	FlagLoopExit uint8 = 1 << iota
+	// FlagGuard marks a guard-check branch (split tails, padding).
+	FlagGuard
+)
+
+// Event is one executed instruction. Every instruction (including ALU and
+// branch) is an event; loads/stores additionally carry a data address.
+type Event struct {
+	// PC is the instruction address (drives L1I behaviour).
+	PC uint64
+	// Addr is the data address for loads/stores (0 otherwise).
+	Addr uint64
+	// Size is the data-access width in bytes (0 for non-memory ops).
+	Size uint16
+	// Class is the instruction class.
+	Class isa.Class
+	// Flags carries branch metadata.
+	Flags uint8
+}
+
+// Sink consumes batches of events. Batches are only valid during the call;
+// implementations must not retain the slice.
+type Sink interface {
+	Consume(events []Event)
+}
+
+// Fanout duplicates an event stream to several sinks, letting one program
+// execution feed the instruction-accurate simulator and the timing model
+// simultaneously (they model the same binary running on different machines).
+type Fanout []Sink
+
+// Consume forwards the batch to every sink.
+func (f Fanout) Consume(events []Event) {
+	for _, s := range f {
+		s.Consume(events)
+	}
+}
+
+// CountingSink tallies events by class; used in tests and quick estimates.
+type CountingSink struct {
+	ByClass [isa.NumClasses]uint64
+	Total   uint64
+	Loads   uint64
+	Stores  uint64
+}
+
+// Consume implements Sink.
+func (c *CountingSink) Consume(events []Event) {
+	for i := range events {
+		e := &events[i]
+		c.ByClass[e.Class]++
+		c.Total++
+		if e.Class.IsLoad() {
+			c.Loads++
+		}
+		if e.Class.IsStore() {
+			c.Stores++
+		}
+	}
+}
+
+// batchSize is the executor's event-buffer length.
+const batchSize = 4096
+
+// emitter buffers events and flushes them to a sink in batches.
+type emitter struct {
+	sink Sink
+	buf  []Event
+}
+
+func newEmitter(sink Sink) *emitter {
+	return &emitter{sink: sink, buf: make([]Event, 0, batchSize)}
+}
+
+func (e *emitter) emit(ev Event) {
+	e.buf = append(e.buf, ev)
+	if len(e.buf) == batchSize {
+		e.flush()
+	}
+}
+
+func (e *emitter) flush() {
+	if len(e.buf) > 0 {
+		e.sink.Consume(e.buf)
+		e.buf = e.buf[:0]
+	}
+}

@@ -1,0 +1,440 @@
+package lower
+
+import (
+	"repro/internal/isa"
+	"repro/internal/te"
+	"repro/internal/tensor"
+)
+
+// Execute runs the lowered program once, streaming one Event per executed
+// instruction to sink. When computeValues is set the program also performs
+// the real float32 arithmetic (allocating tensors as needed) so the result
+// can be validated against te.ComputeOp.ReferenceEval; with it off, only
+// addresses and instruction classes are produced, which is what the
+// simulators need and is considerably faster.
+func Execute(p *Program, sink Sink, computeValues bool) {
+	c := &execCtx{
+		p:       p,
+		em:      newEmitter(sink),
+		vals:    make([]int, len(p.levels)),
+		compute: computeValues,
+		ib:      uint64(p.Model.InstBytes),
+	}
+	if computeValues {
+		p.Op.Out.Alloc()
+		for _, in := range p.Op.Inputs {
+			in.Alloc()
+		}
+		c.acc = make([]float32, p.tileCount)
+		c.axisVals = make([]int, p.numAxes)
+	}
+
+	// Preheader: argument/address setup plus fully loop-invariant loads.
+	c.pc = p.codeBase
+	for i := 0; i < 8; i++ {
+		c.inst(isa.ALU, 0)
+	}
+	for _, site := range p.preheader {
+		c.scalarLoad(site)
+	}
+
+	switch {
+	case len(p.levels) == 0:
+		// Degenerate rank-0 kernel: single body+store.
+		c.scalarBody()
+	case p.reduceStart == 0:
+		c.initBlock(p.codeBase + p.preheaderSize)
+		c.runLevel(0, p.codeBase+p.levels[0].BlockOff)
+		c.storeLoop(p.codeBase + p.preheaderSize + p.initSize + c.blockSize(0))
+	default:
+		c.runLevel(0, p.codeBase+p.levels[0].BlockOff)
+	}
+	c.em.flush()
+}
+
+type execCtx struct {
+	p        *Program
+	em       *emitter
+	vals     []int
+	axisVals []int
+	acc      []float32
+	compute  bool
+	pc       uint64
+	ib       uint64
+}
+
+// inst emits one non-memory instruction at the current PC.
+func (c *execCtx) inst(class isa.Class, flags uint8) {
+	c.em.emit(Event{PC: c.pc, Class: class, Flags: flags})
+	c.pc += c.ib
+}
+
+// mem emits one memory instruction at the current PC.
+func (c *execCtx) mem(class isa.Class, addr uint64, size uint16) {
+	c.em.emit(Event{PC: c.pc, Class: class, Addr: addr, Size: size})
+	c.pc += c.ib
+}
+
+// blockSize returns the total code size of level d's block (all copies).
+func (c *execCtx) blockSize(d int) uint64 {
+	lv := c.p.levels[d]
+	if lv.Unrolled {
+		return lv.PerIterSize * uint64(lv.Extent)
+	}
+	return lv.PerIterSize
+}
+
+// runLevel executes all iterations of level d; blockBase is the code address
+// of the level's block.
+func (c *execCtx) runLevel(d int, blockBase uint64) {
+	p := c.p
+	lv := p.levels[d]
+	if lv.Vector {
+		c.runVectorLevel(d, blockBase)
+		return
+	}
+	inner := d == len(p.levels)-1
+	for i := 0; i < lv.Extent; i++ {
+		c.vals[d] = i
+		iterBase := blockBase
+		if lv.Unrolled {
+			iterBase += uint64(i) * lv.PerIterSize
+		}
+		c.pc = iterBase
+		if c.passGuards(lv) {
+			for _, site := range lv.Hoisted {
+				c.scalarLoad(site)
+			}
+			if inner {
+				c.scalarBody()
+			} else {
+				childBase := iterBase + p.levels[d+1].BlockOff
+				if d+1 == p.reduceStart {
+					c.initBlock(childBase - p.initSize)
+				}
+				c.runLevel(d+1, childBase)
+				if d+1 == p.reduceStart {
+					c.storeLoop(childBase + c.blockSize(d+1))
+				}
+			}
+		}
+		if !lv.Unrolled {
+			c.inst(isa.ALU, 0)
+			fl := uint8(0)
+			if i == lv.Extent-1 {
+				fl = FlagLoopExit
+			}
+			c.inst(isa.Branch, fl)
+		}
+	}
+}
+
+// passGuards emits the guard checks of a level and reports whether the
+// current iteration is inside the axis bounds.
+func (c *execCtx) passGuards(lv *level) bool {
+	for _, g := range lv.Guards {
+		c.inst(isa.ALU, 0)
+		c.inst(isa.Branch, FlagGuard)
+		if g.Value.eval(c.vals) >= g.Extent {
+			return false
+		}
+	}
+	return true
+}
+
+// runVectorLevel executes the innermost SIMD loop in chunks of Lanes,
+// falling back to scalar code for split tails and guard-cut chunks.
+func (c *execCtx) runVectorLevel(d int, blockBase uint64) {
+	p := c.p
+	lv := p.levels[d]
+	lanes := lv.Lanes
+	for i := 0; i < lv.Extent; i += lanes {
+		c.vals[d] = i
+		c.pc = blockBase
+		n := lanes
+		if lv.Extent-i < n {
+			n = lv.Extent - i
+		}
+		for _, g := range lv.Guards {
+			c.inst(isa.ALU, 0)
+			c.inst(isa.Branch, FlagGuard)
+			v0 := g.Value.eval(c.vals)
+			if v0 >= g.Extent {
+				n = 0
+				break
+			}
+			if step := g.Value.coefOf(d); step > 0 {
+				if maxN := (g.Extent - v0 + step - 1) / step; maxN < n {
+					n = maxN
+				}
+			}
+		}
+		switch {
+		case n == lanes:
+			c.vectorBody(d, lanes)
+		case n > 0:
+			for k := 0; k < n; k++ {
+				c.vals[d] = i + k
+				c.scalarBody()
+			}
+			c.vals[d] = i
+		}
+		c.inst(isa.ALU, 0)
+		fl := uint8(0)
+		if i+lanes >= lv.Extent {
+			fl = FlagLoopExit
+		}
+		c.inst(isa.Branch, fl)
+	}
+}
+
+// scalarLoad emits one scalar load of an access site (with a padding guard
+// when the site can go out of bounds; out-of-bounds reads emit no load).
+func (c *execCtx) scalarLoad(site *accessSite) {
+	if site.CanOOB {
+		c.inst(isa.ALU, 0)
+		c.inst(isa.Branch, FlagGuard)
+		if !c.siteInBounds(site) {
+			return
+		}
+	}
+	off := site.Elem.eval(c.vals)
+	c.mem(isa.Load, site.Tensor.AddrOf(off), tensor.ElemSize)
+}
+
+// siteInBounds checks every tensor dimension of the site at the current
+// loop values.
+func (c *execCtx) siteInBounds(site *accessSite) bool {
+	for d, la := range site.Dims {
+		v := la.eval(c.vals)
+		if v < 0 || v >= site.Tensor.Shape[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// tileIdx computes the accumulator index of the current register-tile point.
+func (c *execCtx) tileIdx() int {
+	idx := 0
+	for k, li := range c.p.tileLevels {
+		idx += c.p.tileStrideList[k] * c.vals[li]
+	}
+	return idx
+}
+
+// syncAxisVals reconstructs compute-axis values from loop-level values
+// (value-computation mode only).
+func (c *execCtx) syncAxisVals() {
+	for id := 0; id < c.p.numAxes; id++ {
+		v := 0
+		for _, t := range c.p.axisTerms[id] {
+			v += t.Coef * c.vals[t.Level]
+		}
+		c.axisVals[id] = v
+	}
+}
+
+// scalarBody executes one scalar point of the reduction body.
+func (c *execCtx) scalarBody() {
+	p := c.p
+	for _, site := range p.bodyLoads {
+		c.scalarLoad(site)
+	}
+	tileIdx := 0
+	if len(p.tileLevels) > 0 {
+		tileIdx = c.tileIdx()
+	}
+	regIdx := tileIdx
+	if p.vecTile {
+		regIdx = tileIdx / p.levels[len(p.levels)-1].Lanes
+	}
+	spilled := p.spillRegs > 0 && regIdx >= p.spillFrom
+	slot := p.stackBase + uint64(tileIdx)*tensor.ElemSize
+	if spilled {
+		c.mem(isa.Load, slot, tensor.ElemSize)
+	}
+	for f := 0; f < p.bodyFLOPs; f++ {
+		c.inst(isa.FMA, 0)
+	}
+	if spilled {
+		c.mem(isa.Store, slot, tensor.ElemSize)
+	}
+	noReduce := p.reduceStart == len(p.levels)
+	if c.compute {
+		c.syncAxisVals()
+		if noReduce {
+			c.acc[tileIdx] = p.Op.Init
+		}
+		c.acc[tileIdx] = p.Op.CombineValues(c.acc[tileIdx], te.EvalExpr(p.Op.ReduceBody, c.axisVals, 0))
+	}
+	if noReduce {
+		c.storePoint(tileIdx)
+	}
+}
+
+// vectorBody executes one full-width SIMD point of the reduction body.
+func (c *execCtx) vectorBody(d, lanes int) {
+	p := c.p
+	vbytes := uint16(lanes * tensor.ElemSize)
+	for _, site := range p.bodyLoads {
+		coef := site.Elem.coefOf(d)
+		switch {
+		case site.CanOOB:
+			if coef == 1 && c.vectorSpanInBounds(site, d, lanes) {
+				c.inst(isa.ALU, 0)
+				c.inst(isa.Branch, FlagGuard)
+				off := site.Elem.eval(c.vals)
+				c.mem(isa.VLoad, site.Tensor.AddrOf(off), vbytes)
+			} else {
+				base := c.vals[d]
+				for k := 0; k < lanes; k++ {
+					c.vals[d] = base + k
+					c.scalarLoad(site)
+				}
+				c.vals[d] = base
+				c.inst(isa.ALU, 0) // lane combine
+			}
+		case coef == 1:
+			off := site.Elem.eval(c.vals)
+			c.mem(isa.VLoad, site.Tensor.AddrOf(off), vbytes)
+		default:
+			// Gather: strided lanes load scalar and pack.
+			base := c.vals[d]
+			for k := 0; k < lanes; k++ {
+				c.vals[d] = base + k
+				off := site.Elem.eval(c.vals)
+				c.mem(isa.Load, site.Tensor.AddrOf(off), tensor.ElemSize)
+			}
+			c.vals[d] = base
+			c.inst(isa.ALU, 0)
+		}
+	}
+	tileIdx := 0
+	if len(p.tileLevels) > 0 {
+		tileIdx = c.tileIdx()
+	}
+	regIdx := tileIdx
+	if p.vecTile {
+		regIdx = tileIdx / lanes
+	}
+	spilled := p.spillRegs > 0 && regIdx >= p.spillFrom
+	slot := p.stackBase + uint64(tileIdx)*tensor.ElemSize
+	if spilled {
+		c.mem(isa.VLoad, slot, vbytes)
+	}
+	for f := 0; f < p.bodyFLOPs; f++ {
+		c.inst(isa.VFMA, 0)
+	}
+	if spilled {
+		c.mem(isa.VStore, slot, vbytes)
+	}
+	noReduce := p.reduceStart == len(p.levels)
+	if c.compute || noReduce {
+		base := c.vals[d]
+		for k := 0; k < lanes; k++ {
+			c.vals[d] = base + k
+			ti := tileIdx
+			if len(p.tileLevels) > 0 {
+				ti = c.tileIdx()
+			}
+			if c.compute {
+				c.syncAxisVals()
+				if noReduce {
+					c.acc[ti] = p.Op.Init
+				}
+				c.acc[ti] = p.Op.CombineValues(c.acc[ti], te.EvalExpr(p.Op.ReduceBody, c.axisVals, 0))
+			}
+			if noReduce {
+				c.storePoint(ti)
+			}
+		}
+		c.vals[d] = base
+	}
+}
+
+// vectorSpanInBounds checks the first and last lane of a unit-stride span.
+func (c *execCtx) vectorSpanInBounds(site *accessSite, d, lanes int) bool {
+	if !c.siteInBounds(site) {
+		return false
+	}
+	c.vals[d] += lanes - 1
+	ok := c.siteInBounds(site)
+	c.vals[d] -= lanes - 1
+	return ok
+}
+
+// initBlock zeroes the accumulator registers at the entry of the reduction.
+func (c *execCtx) initBlock(basePC uint64) {
+	c.pc = basePC
+	for i := 0; i < c.p.accRegs; i++ {
+		c.inst(isa.ALU, 0)
+	}
+	if c.compute {
+		for i := range c.acc {
+			c.acc[i] = c.p.Op.Init
+		}
+	}
+}
+
+// storeLoop writes the register tile back to the output tensor, applying the
+// epilogue and re-checking split-tail guards of tile axes.
+func (c *execCtx) storeLoop(basePC uint64) {
+	if len(c.p.tileLevels) == 0 {
+		c.pc = basePC
+		c.storePoint(0)
+		return
+	}
+	c.storeLoopLevel(0, basePC)
+}
+
+func (c *execCtx) storeLoopLevel(k int, basePC uint64) {
+	p := c.p
+	li := p.tileLevels[k]
+	lv := p.levels[li]
+	for i := 0; i < lv.Extent; i++ {
+		c.vals[li] = i
+		c.pc = basePC
+		if c.passGuards(lv) {
+			if k == len(p.tileLevels)-1 {
+				c.storePoint(c.tileIdx())
+			} else {
+				c.storeLoopLevel(k+1, basePC)
+			}
+		}
+		c.inst(isa.ALU, 0)
+		fl := uint8(0)
+		if i == lv.Extent-1 {
+			fl = FlagLoopExit
+		}
+		c.inst(isa.Branch, fl)
+	}
+}
+
+// storePoint applies the epilogue to one accumulator and stores the result.
+func (c *execCtx) storePoint(tileIdx int) {
+	p := c.p
+	for _, site := range p.epiLoads {
+		c.scalarLoad(site)
+	}
+	regIdx := tileIdx
+	if p.vecTile {
+		regIdx = tileIdx / p.levels[len(p.levels)-1].Lanes
+	}
+	if p.spillRegs > 0 && regIdx >= p.spillFrom {
+		c.mem(isa.Load, p.stackBase+uint64(tileIdx)*tensor.ElemSize, tensor.ElemSize)
+	}
+	for f := 0; f < p.epiFLOPs; f++ {
+		c.inst(isa.FMA, 0)
+	}
+	off := p.store.Elem.eval(c.vals)
+	c.mem(isa.Store, p.store.Tensor.AddrOf(off), tensor.ElemSize)
+	if c.compute {
+		c.syncAxisVals()
+		v := c.acc[tileIdx]
+		if p.Op.Epilogue != nil {
+			v = te.EvalExpr(p.Op.Epilogue, c.axisVals, v)
+		}
+		p.store.Tensor.Data[off] = v
+	}
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the paper's predictor-evaluation metrics
+// (§IV-B): the top-1 relative error E_top1 (Eq. 5), the top-1 rank R_top1
+// (Eq. 6), and the sorting-quality score Q (Eq. 7) evaluated separately on
+// the lower and upper half of the prediction-sorted run times (Q_low,
+// Q_high). Smaller is better for all of them.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/num"
+)
+
+// Result bundles the four paper metrics for one (predictor, group) pair,
+// plus the Spearman rank correlation as an auxiliary diagnostic.
+type Result struct {
+	Etop1    float64 // % relative error between best-predicted and true best
+	Qlow     float64 // % sorting penalty, faster half
+	Qhigh    float64 // % sorting penalty, slower half
+	Rtop1    float64 // % rank position of the true best in the prediction order
+	Spearman float64 // rank correlation between scores and run times (extra)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("Etop1=%.1f%% Qlow=%.1f%% Qhigh=%.1f%% Rtop1=%.1f%%",
+		r.Etop1, r.Qlow, r.Qhigh, r.Rtop1)
+}
+
+// Evaluate computes the metrics from measured reference run times tref and
+// predicted scores (same index space; lower score = predicted faster).
+func Evaluate(tref, scores []float64) Result {
+	if len(tref) != len(scores) {
+		panic(fmt.Sprintf("metrics: %d run times vs %d scores", len(tref), len(scores)))
+	}
+	n := len(tref)
+	if n == 0 {
+		return Result{}
+	}
+	// tpred: measured run times ordered by predicted score (§IV-A).
+	order := num.ArgSort(scores)
+	tpred := make([]float64, n)
+	for i, idx := range order {
+		tpred[i] = tref[idx]
+	}
+	best := num.ArgMin(tref)
+
+	res := Result{Spearman: num.Spearman(scores, tref)}
+
+	// Eq. (5): E_top1 = |1 − tref[0]/tpred[0]| · 100%.
+	if tpred[0] != 0 {
+		res.Etop1 = math.Abs(1-tref[best]/tpred[0]) * 100
+	}
+
+	// Eq. (6): R_top1 = 100%/|tref| · (argmin_x(tpred[x] == tref[0]) + 1).
+	for pos, idx := range order {
+		if tref[idx] == tref[best] {
+			res.Rtop1 = 100 / float64(n) * float64(pos+1)
+			break
+		}
+	}
+
+	// Eq. (7) on the faster and slower half of the prediction-sorted times.
+	half := n / 2
+	if half < 2 {
+		half = n
+	}
+	res.Qlow = qualityScore(tpred[:half])
+	if half < n {
+		res.Qhigh = qualityScore(tpred[half:])
+	} else {
+		res.Qhigh = res.Qlow
+	}
+	return res
+}
+
+// qualityScore is Eq. (7): consecutive non-monotonically increasing samples
+// are penalized proportionally to their relative dip.
+func qualityScore(t []float64) float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i+1 < len(t); i++ {
+		if t[i] <= 0 {
+			continue
+		}
+		m := math.Min(t[i], t[i+1])
+		sum += (t[i] - m) / t[i]
+	}
+	return 100 / float64(len(t)) * sum
+}
+
+// Aggregate averages a set of results (used for cross-split medians the
+// paper reports after 10 random train/test splits — see MedianOf for the
+// median variant).
+func Aggregate(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	var out Result
+	for _, r := range rs {
+		out.Etop1 += r.Etop1
+		out.Qlow += r.Qlow
+		out.Qhigh += r.Qhigh
+		out.Rtop1 += r.Rtop1
+		out.Spearman += r.Spearman
+	}
+	n := float64(len(rs))
+	out.Etop1 /= n
+	out.Qlow /= n
+	out.Qhigh /= n
+	out.Rtop1 /= n
+	out.Spearman /= n
+	return out
+}
+
+// MedianOf takes the per-metric median over results.
+func MedianOf(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	pick := func(f func(Result) float64) float64 {
+		xs := make([]float64, len(rs))
+		for i, r := range rs {
+			xs[i] = f(r)
+		}
+		return num.Median(xs)
+	}
+	return Result{
+		Etop1:    pick(func(r Result) float64 { return r.Etop1 }),
+		Qlow:     pick(func(r Result) float64 { return r.Qlow }),
+		Qhigh:    pick(func(r Result) float64 { return r.Qhigh }),
+		Rtop1:    pick(func(r Result) float64 { return r.Rtop1 }),
+		Spearman: pick(func(r Result) float64 { return r.Spearman }),
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/num"
+)
+
+func TestPerfectPrediction(t *testing.T) {
+	tref := []float64{5, 1, 3, 2, 4, 6, 8, 7}
+	scores := []float64{50, 10, 30, 20, 40, 60, 80, 70} // same order
+	r := Evaluate(tref, scores)
+	if r.Etop1 != 0 {
+		t.Fatalf("Etop1 = %v want 0", r.Etop1)
+	}
+	// Best sample ranked first: R = 100/8 · 1 = 12.5.
+	if r.Rtop1 != 12.5 {
+		t.Fatalf("Rtop1 = %v want 12.5", r.Rtop1)
+	}
+	if r.Qlow != 0 || r.Qhigh != 0 {
+		t.Fatalf("Q = %v/%v want 0", r.Qlow, r.Qhigh)
+	}
+	if math.Abs(r.Spearman-1) > 1e-9 {
+		t.Fatalf("spearman = %v", r.Spearman)
+	}
+}
+
+func TestEtop1KnownValue(t *testing.T) {
+	// Predictor picks sample with t=2 first; true best is 1:
+	// E = |1 - 1/2|·100 = 50%.
+	tref := []float64{2, 1}
+	scores := []float64{0, 1}
+	r := Evaluate(tref, scores)
+	if r.Etop1 != 50 {
+		t.Fatalf("Etop1 = %v want 50", r.Etop1)
+	}
+	// True best ranked second of two: R = 100/2·2 = 100.
+	if r.Rtop1 != 100 {
+		t.Fatalf("Rtop1 = %v want 100", r.Rtop1)
+	}
+}
+
+func TestRtop1Position(t *testing.T) {
+	// 10 samples; predictor puts true best at position 3 (index 2).
+	tref := []float64{10, 11, 1, 12, 13, 14, 15, 16, 17, 18}
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} // prediction order = index order
+	r := Evaluate(tref, scores)
+	if r.Rtop1 != 30 {
+		t.Fatalf("Rtop1 = %v want 30 (position 3 of 10)", r.Rtop1)
+	}
+}
+
+func TestQualityScoreKnown(t *testing.T) {
+	// Sequence 2,1: dip = (2-1)/2 = 0.5 → Q = 100/2·0.5 = 25.
+	if q := qualityScore([]float64{2, 1}); q != 25 {
+		t.Fatalf("q = %v want 25", q)
+	}
+	// Monotone sequence → 0.
+	if q := qualityScore([]float64{1, 2, 3}); q != 0 {
+		t.Fatalf("q = %v want 0", q)
+	}
+	if q := qualityScore([]float64{5}); q != 0 {
+		t.Fatal("single sample must score 0")
+	}
+}
+
+func TestQlowQhighSplit(t *testing.T) {
+	// First half perfectly sorted, second half reversed: Qlow = 0, Qhigh > 0.
+	tref := []float64{1, 2, 3, 4, 8, 7, 6, 5}
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	r := Evaluate(tref, scores)
+	if r.Qlow != 0 {
+		t.Fatalf("Qlow = %v want 0", r.Qlow)
+	}
+	if r.Qhigh <= 0 {
+		t.Fatalf("Qhigh = %v want > 0", r.Qhigh)
+	}
+}
+
+func TestEvaluateMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([]float64{1}, []float64{1, 2})
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	r := Evaluate(nil, nil)
+	if r.Etop1 != 0 || r.Rtop1 != 0 {
+		t.Fatal("empty evaluation must be zero")
+	}
+}
+
+func TestRandomPredictionWorseThanPerfect(t *testing.T) {
+	rng := num.NewRNG(4)
+	n := 100
+	tref := make([]float64, n)
+	perfect := make([]float64, n)
+	random := make([]float64, n)
+	for i := range tref {
+		tref[i] = 1 + rng.Float64()*9
+		perfect[i] = tref[i]
+		random[i] = rng.Float64()
+	}
+	rp := Evaluate(tref, perfect)
+	rr := Evaluate(tref, random)
+	if rr.Qlow <= rp.Qlow || rr.Rtop1 < rp.Rtop1 {
+		t.Fatalf("random prediction should be worse: %v vs %v", rr, rp)
+	}
+}
+
+func TestAggregateAndMedian(t *testing.T) {
+	rs := []Result{
+		{Etop1: 1, Qlow: 2, Qhigh: 3, Rtop1: 4, Spearman: 0.5},
+		{Etop1: 3, Qlow: 4, Qhigh: 5, Rtop1: 6, Spearman: 0.7},
+		{Etop1: 5, Qlow: 6, Qhigh: 7, Rtop1: 8, Spearman: 0.9},
+	}
+	avg := Aggregate(rs)
+	if avg.Etop1 != 3 || avg.Rtop1 != 6 {
+		t.Fatalf("aggregate = %+v", avg)
+	}
+	med := MedianOf(rs)
+	if med.Etop1 != 3 || med.Qhigh != 5 {
+		t.Fatalf("median = %+v", med)
+	}
+	if (Aggregate(nil) != Result{}) || (MedianOf(nil) != Result{}) {
+		t.Fatal("empty aggregate must be zero")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{Etop1: 1.23, Qlow: 2, Qhigh: 3, Rtop1: 4}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestTiedBestTimes(t *testing.T) {
+	// Two samples share the minimum; rank should use the first match in
+	// prediction order.
+	tref := []float64{1, 1, 2, 3}
+	scores := []float64{4, 1, 2, 3} // prediction order: idx1, idx2, idx3, idx0
+	r := Evaluate(tref, scores)
+	if r.Rtop1 != 25 {
+		t.Fatalf("Rtop1 = %v want 25 (tie found at position 1)", r.Rtop1)
+	}
+	if r.Etop1 != 0 {
+		t.Fatalf("Etop1 = %v want 0 (tied best picked first)", r.Etop1)
+	}
+}

@@ -1,0 +1,232 @@
+// Package num provides the dense linear-algebra and statistics substrate used
+// by the score predictors (MLR normal equations, Gaussian-process Cholesky
+// solves, DNN weight math) and by the experiment drivers.
+//
+// Everything is float64, row-major, and allocation-explicit; no external
+// dependencies.
+package num
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("num: invalid matrix dims %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("num: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("num: matmul dim mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a*x.
+func MatVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("num: matvec dim mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrNotPD is returned when a Cholesky factorization encounters a
+// non-positive-definite matrix.
+var ErrNotPD = errors.New("num: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite A. A is not modified.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("num: cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves A·x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("num: cholsolve dim mismatch")
+	}
+	// Forward: L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A, adding jitter to
+// the diagonal if the factorization fails (up to a small cap).
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		work := a
+		if jitter > 0 {
+			work = a.Clone()
+			for i := 0; i < work.Rows; i++ {
+				work.Data[i*work.Cols+i] += jitter
+			}
+		}
+		l, err := Cholesky(work)
+		if err == nil {
+			return CholSolve(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrNotPD
+}
+
+// LeastSquares solves min‖X·w − y‖² + ridge·‖w‖² via the normal equations.
+// X is n×d; the returned w has length d.
+func LeastSquares(x *Matrix, y []float64, ridge float64) ([]float64, error) {
+	if x.Rows != len(y) {
+		panic("num: least squares dim mismatch")
+	}
+	d := x.Cols
+	xtx := NewMatrix(d, d)
+	xty := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for a := 0; a < d; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			xty[a] += ra * y[i]
+			base := a * d
+			for b := 0; b < d; b++ {
+				xtx.Data[base+b] += ra * row[b]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		xtx.Data[i*d+i] += ridge
+	}
+	return SolveSPD(xtx, xty)
+}
+
+// LogDetFromChol returns log|A| = 2·Σ log L[i][i] given the Cholesky factor.
+func LogDetFromChol(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}

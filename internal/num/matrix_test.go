@@ -1,0 +1,195 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatalf("At/Set mismatch: %+v", m)
+	}
+}
+
+func TestFromRowsAndRow(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("row 1 = %v", r)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %+v", mt)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := MatVec(a, []float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("matvec = %v", y)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.At(0, 0), 2, 1e-12) || !almostEq(l.At(1, 0), 1, 1e-12) ||
+		!almostEq(l.At(1, 1), math.Sqrt(2), 1e-12) {
+		t.Fatalf("cholesky = %+v", l)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPD {
+		t.Fatalf("err = %v, want ErrNotPD", err)
+	}
+}
+
+// Property: for random L (lower triangular, positive diagonal), Cholesky(L·Lᵀ)
+// recovers L.
+func TestCholeskyRoundTripProperty(t *testing.T) {
+	rng := NewRNG(7)
+	f := func() bool {
+		n := 1 + rng.Intn(8)
+		l := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				l.Set(i, j, rng.Uniform(-1, 1))
+			}
+			l.Set(i, i, rng.Uniform(0.5, 2.0))
+		}
+		a := MatMul(l, l.T())
+		got, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if !almostEq(got.At(i, j), l.At(i, j), 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholSolve(l, []float64{10, 9})
+	// A·x should equal b.
+	b := MatVec(a, x)
+	if !almostEq(b[0], 10, 1e-10) || !almostEq(b[1], 9, 1e-10) {
+		t.Fatalf("A·x = %v", b)
+	}
+}
+
+func TestSolveSPDWithJitter(t *testing.T) {
+	// Singular matrix: jitter should rescue the solve.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	x, err := SolveSPD(a, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(x[0]) || math.IsNaN(x[1]) {
+		t.Fatalf("solution has NaN: %v", x)
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	// y = 3 + 2·x ; X includes an intercept column.
+	n := 50
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := float64(i) / 10
+		x.Set(i, 0, 1)
+		x.Set(i, 1, xi)
+		y[i] = 3 + 2*xi
+	}
+	w, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(w[0], 3, 1e-8) || !almostEq(w[1], 2, 1e-8) {
+		t.Fatalf("w = %v, want [3 2]", w)
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	x := FromRows([][]float64{{1}, {2}, {3}})
+	y := []float64{2, 4, 6}
+	w0, _ := LeastSquares(x, y, 0)
+	wR, _ := LeastSquares(x, y, 100)
+	if math.Abs(wR[0]) >= math.Abs(w0[0]) {
+		t.Fatalf("ridge did not shrink: |%v| >= |%v|", wR[0], w0[0])
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, _ := Cholesky(a)
+	if !almostEq(LogDetFromChol(l), math.Log(36), 1e-12) {
+		t.Fatalf("logdet = %v want %v", LogDetFromChol(l), math.Log(36))
+	}
+}

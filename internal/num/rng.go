@@ -1,0 +1,121 @@
+package num
+
+import "math"
+
+// RNG is a small, fast, deterministic random-number generator
+// (splitmix64-seeded xoshiro256**). Every stochastic component in the
+// reproduction (tuners, predictors, noise models) takes an explicit *RNG so
+// experiments are reproducible bit-for-bit across runs.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to fill the state; avoids the all-zero state.
+	x := seed
+	for i := 0; i < 4; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent child generator; the parent advances once.
+// Useful for handing isolated streams to parallel workers.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("num: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*r.Float64() }
+
+// NormFloat64 returns a standard-normal sample (Box–Muller, polar-free form).
+func (r *RNG) NormFloat64() float64 {
+	// Box–Muller; u1 in (0,1] to avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(mu + sigma·N(0,1)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place via swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly random index weighted by w (all weights ≥ 0;
+// returns -1 if the total weight is 0 or w is empty).
+func (r *RNG) Choice(w []float64) int {
+	total := 0.0
+	for _, v := range w {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	t := r.Float64() * total
+	acc := 0.0
+	for i, v := range w {
+		if v <= 0 {
+			continue
+		}
+		acc += v
+		if t < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

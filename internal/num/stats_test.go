@@ -1,0 +1,142 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("var = %v", Variance(xs))
+	}
+	if Std(xs) != 2 {
+		t.Fatalf("std = %v", Std(xs))
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatalf("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatalf("even median wrong")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("q=%v got %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if ArgMin(xs) != 1 {
+		t.Fatalf("argmin = %d", ArgMin(xs))
+	}
+	if ArgMax(xs) != 4 {
+		t.Fatalf("argmax = %d", ArgMax(xs))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("empty argmin/argmax should be -1")
+	}
+}
+
+func TestArgSortAndRanks(t *testing.T) {
+	xs := []float64{30, 10, 20}
+	order := ArgSort(xs)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("argsort = %v", order)
+	}
+	ranks := Ranks(xs)
+	if ranks[0] != 2 || ranks[1] != 0 || ranks[2] != 1 {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if !almostEq(Spearman(a, b), 1, 1e-12) {
+		t.Fatalf("spearman = %v", Spearman(a, b))
+	}
+	c := []float64{40, 30, 20, 10}
+	if !almostEq(Spearman(a, c), -1, 1e-12) {
+		t.Fatalf("anti spearman = %v", Spearman(a, c))
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant input should give 0")
+	}
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("length-1 input should give 0")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 10}}
+	s := FitStandardizer(rows)
+	if s.Mean[0] != 2 || s.Mean[1] != 10 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Std[1] != 1 { // zero-variance column gets Std 1
+		t.Fatalf("zero-variance std = %v", s.Std[1])
+	}
+	z := s.Transform([]float64{3, 10})
+	if !almostEq(z[0], 1, 1e-12) || z[1] != 0 {
+		t.Fatalf("transform = %v", z)
+	}
+	all := s.TransformAll(rows)
+	if len(all) != 2 {
+		t.Fatalf("transformAll len = %d", len(all))
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := NewRNG(11)
+	f := func() bool {
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Uniform(-10, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return Quantile(xs, 0) <= Quantile(xs, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

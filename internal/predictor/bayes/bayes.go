@@ -1,0 +1,211 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/num"
+	"repro/internal/predictor"
+)
+
+// Config controls the Bayesian hyper-parameter search.
+type Config struct {
+	// InitPoints random evaluations seed the surrogate; Iterations further
+	// points are chosen by expected improvement.
+	InitPoints int
+	Iterations int
+	// Candidates per acquisition maximization.
+	Candidates int
+	// ValFrac is the internal validation split used by the objective.
+	ValFrac float64
+	// Loss scores the validation predictions (paper: MSE).
+	Loss predictor.Loss
+}
+
+// DefaultConfig matches the paper's setup (MSE loss) with a search budget
+// suited to a few hundred samples.
+func DefaultConfig() Config {
+	return Config{InitPoints: 8, Iterations: 20, Candidates: 256, ValFrac: 0.25, Loss: predictor.MSE}
+}
+
+// Hyper-parameter search box in log10 space over standardized features.
+var (
+	logCRange     = [2]float64{-2, 2}
+	logLenRange   = [2]float64{-0.7, 1.7}
+	logNoiseRange = [2]float64{-6, -0.5}
+)
+
+// Model is the Bayesian-optimization predictor.
+type Model struct {
+	cfg Config
+	rng *num.RNG
+
+	xs *num.Standardizer
+	gp *GP
+	// Best hyper-parameters found (log10).
+	best [3]float64
+}
+
+// New builds the predictor; rng drives the random search and splits.
+func New(cfg Config, rng *num.RNG) *Model {
+	if cfg.Loss == nil {
+		cfg = DefaultConfig()
+	}
+	return &Model{cfg: cfg, rng: rng}
+}
+
+// Name implements predictor.Predictor.
+func (m *Model) Name() string { return "Bayes" }
+
+// Fit tunes (C, length_scale, noise) by Bayesian optimization of the
+// validation loss, then refits the GP on all data with the winner.
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if len(x) < 4 || len(x) != len(y) {
+		return errors.New("bayes: need at least 4 training samples")
+	}
+	m.xs = num.FitStandardizer(x)
+	xs := m.xs.TransformAll(x)
+
+	// Internal split.
+	perm := m.rng.Perm(len(xs))
+	nVal := int(float64(len(xs)) * m.cfg.ValFrac)
+	if nVal < 1 {
+		nVal = 1
+	}
+	if nVal >= len(xs) {
+		nVal = len(xs) - 1
+	}
+	valIdx, trainIdx := perm[:nVal], perm[nVal:]
+	xTr, yTr := gather(xs, y, trainIdx)
+	xVal, yVal := gather(xs, y, valIdx)
+
+	// objective_function of Listing 6: fit a GP with the proposed kernel
+	// hyper-parameters, predict the held-out samples, return −loss.
+	objective := func(p [3]float64) float64 {
+		g := &GP{C: math.Pow(10, p[0]), LengthScale: math.Pow(10, p[1]), Noise: math.Pow(10, p[2])}
+		if err := g.Fit(xTr, yTr); err != nil {
+			return math.Inf(-1)
+		}
+		preds := make([]float64, len(xVal))
+		for i, xv := range xVal {
+			preds[i] = g.Predict(xv)
+		}
+		return -m.cfg.Loss(preds, yVal)
+	}
+
+	var points [][]float64
+	var values []float64
+	bestVal := math.Inf(-1)
+	evalPoint := func(p [3]float64) {
+		v := objective(p)
+		points = append(points, []float64{
+			unit(p[0], logCRange), unit(p[1], logLenRange), unit(p[2], logNoiseRange)})
+		if math.IsInf(v, -1) {
+			v = -1e6
+		}
+		values = append(values, v)
+		if v > bestVal {
+			bestVal = v
+			m.best = p
+		}
+	}
+
+	for i := 0; i < m.cfg.InitPoints; i++ {
+		evalPoint(m.randPoint())
+	}
+	for it := 0; it < m.cfg.Iterations; it++ {
+		next, ok := m.proposeEI(points, values, bestVal)
+		if !ok {
+			next = m.randPoint()
+		}
+		evalPoint(next)
+	}
+
+	// Final fit on everything with the tuned kernel.
+	m.gp = &GP{
+		C:           math.Pow(10, m.best[0]),
+		LengthScale: math.Pow(10, m.best[1]),
+		Noise:       math.Pow(10, m.best[2]),
+	}
+	return m.gp.Fit(xs, y)
+}
+
+// randPoint samples uniform log-space hyper-parameters.
+func (m *Model) randPoint() [3]float64 {
+	return [3]float64{
+		m.rng.Uniform(logCRange[0], logCRange[1]),
+		m.rng.Uniform(logLenRange[0], logLenRange[1]),
+		m.rng.Uniform(logNoiseRange[0], logNoiseRange[1]),
+	}
+}
+
+// proposeEI fits a GP surrogate over the unit-cube hyper-parameter points
+// and maximizes expected improvement over random candidates.
+func (m *Model) proposeEI(points [][]float64, values []float64, best float64) ([3]float64, bool) {
+	sur := &GP{C: 1, LengthScale: 0.3, Noise: 1e-4}
+	// Normalize objective values for surrogate stability.
+	mean, std := num.Mean(values), num.Std(values)
+	if std < 1e-12 {
+		return [3]float64{}, false
+	}
+	norm := make([]float64, len(values))
+	for i, v := range values {
+		norm[i] = (v - mean) / std
+	}
+	if err := sur.Fit(points, norm); err != nil {
+		return [3]float64{}, false
+	}
+	bestNorm := (best - mean) / std
+	var bestCand [3]float64
+	bestEI := -1.0
+	for i := 0; i < m.cfg.Candidates; i++ {
+		p := m.randPoint()
+		u := []float64{unit(p[0], logCRange), unit(p[1], logLenRange), unit(p[2], logNoiseRange)}
+		mu, v := sur.PredictVar(u)
+		sigma := math.Sqrt(v)
+		z := (mu - bestNorm) / sigma
+		ei := (mu-bestNorm)*phi(z) + sigma*pdf(z)
+		if ei > bestEI {
+			bestEI = ei
+			bestCand = p
+		}
+	}
+	return bestCand, bestEI > 0
+}
+
+// unit maps a value into [0,1] within its range.
+func unit(v float64, r [2]float64) float64 { return (v - r[0]) / (r[1] - r[0]) }
+
+// phi is the standard normal CDF.
+func phi(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// pdf is the standard normal density.
+func pdf(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+func gather(x [][]float64, y []float64, idx []int) ([][]float64, []float64) {
+	gx := make([][]float64, len(idx))
+	gy := make([]float64, len(idx))
+	for i, id := range idx {
+		gx[i] = x[id]
+		gy[i] = y[id]
+	}
+	return gx, gy
+}
+
+// Predict implements predictor.Predictor.
+func (m *Model) Predict(x []float64) float64 {
+	if m.gp == nil {
+		return 0
+	}
+	return m.gp.Predict(m.xs.Transform(x))
+}
+
+// PredictBatch implements predictor.Predictor.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	return predictor.BatchWith(x, m.Predict)
+}
+
+// BestHyperParams exposes the tuned (C, length_scale, noise) for reports.
+func (m *Model) BestHyperParams() (c, lengthScale, noise float64) {
+	return math.Pow(10, m.best[0]), math.Pow(10, m.best[1]), math.Pow(10, m.best[2])
+}

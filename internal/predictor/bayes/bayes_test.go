@@ -1,0 +1,124 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/num"
+)
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	g := &GP{C: 1, LengthScale: 1, Noise: 1e-8}
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 1, 4, 9}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(g.Predict(x[i])-y[i]) > 1e-3 {
+			t.Fatalf("GP must interpolate: f(%v)=%v want %v", x[i], g.Predict(x[i]), y[i])
+		}
+	}
+}
+
+func TestGPSmoothInterpolation(t *testing.T) {
+	g := &GP{C: 1, LengthScale: 1, Noise: 1e-6}
+	x := [][]float64{{0}, {2}}
+	y := []float64{0, 2}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Predict([]float64{1})
+	if mid < 0.5 || mid > 1.5 {
+		t.Fatalf("midpoint = %v, expected smooth interpolation near 1", mid)
+	}
+}
+
+func TestGPVarianceShrinksAtData(t *testing.T) {
+	g := &GP{C: 1, LengthScale: 0.5, Noise: 1e-6}
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, vAt := g.PredictVar([]float64{0})
+	_, vFar := g.PredictVar([]float64{10})
+	if vAt >= vFar {
+		t.Fatalf("variance at data (%v) must be below far-field (%v)", vAt, vFar)
+	}
+	if vFar < 0.9 { // far away it should recover ~C+noise
+		t.Fatalf("far-field variance = %v want ~1", vFar)
+	}
+}
+
+func TestGPFitErrors(t *testing.T) {
+	g := &GP{C: 1, LengthScale: 1, Noise: 0}
+	if err := g.Fit(nil, nil); err == nil {
+		t.Fatal("empty GP fit must error")
+	}
+	g2 := &GP{C: 0, LengthScale: 0, Noise: 0}
+	if err := g2.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("invalid hyper-parameters must error")
+	}
+}
+
+func TestModelFitsQuadratic(t *testing.T) {
+	rng := num.NewRNG(11)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		a := rng.Uniform(-1, 1)
+		b := rng.Uniform(-1, 1)
+		x = append(x, []float64{a, b})
+		y = append(y, a*a+0.5*b)
+	}
+	m := New(DefaultConfig(), num.NewRNG(3))
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var preds, want []float64
+	for i := 0; i < 30; i++ {
+		a := rng.Uniform(-1, 1)
+		b := rng.Uniform(-1, 1)
+		preds = append(preds, m.Predict([]float64{a, b}))
+		want = append(want, a*a+0.5*b)
+	}
+	if rho := num.Spearman(preds, want); rho < 0.9 {
+		t.Fatalf("Bayes model ranks poorly: Spearman %v", rho)
+	}
+	c, l, n := m.BestHyperParams()
+	if c <= 0 || l <= 0 || n <= 0 {
+		t.Fatalf("hyper-params not tuned: %v %v %v", c, l, n)
+	}
+}
+
+func TestModelTooFewSamples(t *testing.T) {
+	m := New(DefaultConfig(), num.NewRNG(1))
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Fatal("fit with <4 samples must error")
+	}
+}
+
+func TestModelUnfittedPredictsZero(t *testing.T) {
+	m := New(DefaultConfig(), num.NewRNG(1))
+	if m.Predict([]float64{1}) != 0 {
+		t.Fatal("unfitted must predict 0")
+	}
+}
+
+func TestPhiPdfSane(t *testing.T) {
+	if math.Abs(phi(0)-0.5) > 1e-12 {
+		t.Fatalf("phi(0) = %v", phi(0))
+	}
+	if phi(10) < 0.999 || phi(-10) > 0.001 {
+		t.Fatal("phi tails wrong")
+	}
+	if math.Abs(pdf(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Fatalf("pdf(0) = %v", pdf(0))
+	}
+}
+
+func TestUnitMapping(t *testing.T) {
+	r := [2]float64{-2, 2}
+	if unit(-2, r) != 0 || unit(2, r) != 1 || unit(0, r) != 0.5 {
+		t.Fatal("unit mapping wrong")
+	}
+}

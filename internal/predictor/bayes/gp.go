@@ -1,0 +1,117 @@
+// Package bayes implements the paper's Bayesian-optimization predictor
+// (§III-D.3, Listing 6): a Gaussian-process regressor with the kernel
+// ConstantKernel(C) · RBF(length_scale) + WhiteKernel(noise), whose three
+// hyper-parameters are tuned by Bayesian optimization (expected-improvement
+// acquisition over a GP surrogate) maximizing an objective that fits the GP
+// on a training split and scores a validation split with a selectable loss.
+package bayes
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/num"
+)
+
+// GP is a Gaussian-process regressor with kernel C·RBF(ℓ) + noise·δ.
+type GP struct {
+	C           float64
+	LengthScale float64
+	Noise       float64
+
+	x     [][]float64
+	chol  *num.Matrix
+	alpha []float64
+	yMean float64
+}
+
+// kernel evaluates C·exp(−‖a−b‖² / (2ℓ²)).
+func (g *GP) kernel(a, b []float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.C * math.Exp(-d2/(2*g.LengthScale*g.LengthScale))
+}
+
+// Fit factorizes the kernel matrix and precomputes α = K⁻¹(y−ȳ).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("bayes: empty or mismatched GP training data")
+	}
+	if g.LengthScale <= 0 || g.C <= 0 {
+		return errors.New("bayes: non-positive kernel hyper-parameters")
+	}
+	n := len(x)
+	g.x = x
+	g.yMean = num.Mean(y)
+	k := num.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.Noise+1e-10)
+	}
+	chol, err := num.Cholesky(k)
+	if err != nil {
+		// Jittered retry for borderline conditioning.
+		for i := 0; i < n; i++ {
+			k.Set(i, i, k.At(i, i)+1e-6)
+		}
+		chol, err = num.Cholesky(k)
+		if err != nil {
+			return err
+		}
+	}
+	g.chol = chol
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - g.yMean
+	}
+	g.alpha = num.CholSolve(chol, centered)
+	return nil
+}
+
+// Predict returns the posterior mean at x.
+func (g *GP) Predict(x []float64) float64 {
+	if g.alpha == nil {
+		return 0
+	}
+	s := 0.0
+	for i, xi := range g.x {
+		s += g.kernel(x, xi) * g.alpha[i]
+	}
+	return s + g.yMean
+}
+
+// PredictVar returns posterior mean and variance at x (variance is needed by
+// the expected-improvement acquisition of the optimizer). Models restored
+// from a snapshot have no Cholesky factor and fall back to the prior
+// variance.
+func (g *GP) PredictVar(x []float64) (mean, variance float64) {
+	if g.alpha == nil {
+		return 0, g.C
+	}
+	if g.chol == nil {
+		return g.Predict(x), g.C + g.Noise
+	}
+	n := len(g.x)
+	ks := make([]float64, n)
+	mean = g.yMean
+	for i, xi := range g.x {
+		ks[i] = g.kernel(x, xi)
+		mean += ks[i] * g.alpha[i]
+	}
+	v := num.CholSolve(g.chol, ks)
+	variance = g.C + g.Noise
+	for i := range ks {
+		variance -= ks[i] * v[i]
+	}
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mean, variance
+}

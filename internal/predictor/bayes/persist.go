@@ -1,0 +1,51 @@
+package bayes
+
+import "repro/internal/num"
+
+// State is the serializable form of a fitted GP predictor: the tuned kernel
+// hyper-parameters, the feature standardizer, the training inputs, and the
+// precomputed dual weights α = K⁻¹(y−ȳ). Prediction only needs α, so the
+// kernel matrix is not refactorized on restore.
+type State struct {
+	C           float64
+	LengthScale float64
+	Noise       float64
+	X           [][]float64
+	Alpha       []float64
+	YMean       float64
+	XMean       []float64
+	XStd        []float64
+	BestLog     [3]float64
+}
+
+// Export snapshots the fitted predictor.
+func (m *Model) Export() State {
+	s := State{BestLog: m.best}
+	if m.xs != nil {
+		s.XMean = append([]float64(nil), m.xs.Mean...)
+		s.XStd = append([]float64(nil), m.xs.Std...)
+	}
+	if m.gp != nil {
+		s.C, s.LengthScale, s.Noise = m.gp.C, m.gp.LengthScale, m.gp.Noise
+		for _, x := range m.gp.x {
+			s.X = append(s.X, append([]float64(nil), x...))
+		}
+		s.Alpha = append([]float64(nil), m.gp.alpha...)
+		s.YMean = m.gp.yMean
+	}
+	return s
+}
+
+// Restore loads a snapshot. Restored models predict posterior means exactly;
+// posterior variances fall back to the prior (the Cholesky factor is not
+// persisted).
+func (m *Model) Restore(s State) {
+	m.best = s.BestLog
+	m.xs = &num.Standardizer{
+		Mean: append([]float64(nil), s.XMean...),
+		Std:  append([]float64(nil), s.XStd...),
+	}
+	m.gp = &GP{C: s.C, LengthScale: s.LengthScale, Noise: s.Noise, yMean: s.YMean}
+	m.gp.x = s.X
+	m.gp.alpha = append([]float64(nil), s.Alpha...)
+}

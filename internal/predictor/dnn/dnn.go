@@ -1,0 +1,271 @@
+// Package dnn implements the paper's regression DNN predictor (§III-D.2,
+// §IV-C): six dense layers (128, 128, 64, 32, 16, 1 neurons), tanh hidden
+// activations, a linear output, MAE loss, trained with the Adam optimizer —
+// all implemented from scratch on float64 slices.
+package dnn
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/num"
+)
+
+// Config controls architecture and training.
+type Config struct {
+	// Hidden lists hidden-layer widths (paper: 128,128,64,32,16).
+	Hidden []int
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Batch is the minibatch size.
+	Batch int
+	// LR is the Adam learning rate.
+	LR float64
+}
+
+// DefaultConfig returns the paper's tuned configuration with a training
+// budget suited to a few hundred samples.
+func DefaultConfig() Config {
+	return Config{Hidden: []int{128, 128, 64, 32, 16}, Epochs: 80, Batch: 32, LR: 1e-3}
+}
+
+type layer struct {
+	in, out int
+	w       []float64 // out×in, row-major
+	b       []float64
+	// Adam state.
+	mw, vw []float64
+	mb, vb []float64
+}
+
+// Model is the DNN predictor.
+type Model struct {
+	cfg    Config
+	rng    *num.RNG
+	layers []layer
+	xs     *num.Standardizer
+	yMean  float64
+	yStd   float64
+	// scratch
+	acts  [][]float64
+	zs    [][]float64
+	delta [][]float64
+	gw    [][]float64
+	gb    [][]float64
+	step  int
+}
+
+// New builds a DNN predictor with the given config; rng seeds the weight
+// initialization and minibatch shuffling, making training deterministic.
+func New(cfg Config, rng *num.RNG) *Model {
+	if len(cfg.Hidden) == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 80
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	return &Model{cfg: cfg, rng: rng}
+}
+
+// Name implements predictor.Predictor.
+func (m *Model) Name() string { return "DNN" }
+
+func (m *Model) initNet(inDim int) {
+	sizes := append([]int{inDim}, m.cfg.Hidden...)
+	sizes = append(sizes, 1)
+	m.layers = make([]layer, len(sizes)-1)
+	m.acts = make([][]float64, len(sizes))
+	m.zs = make([][]float64, len(m.layers))
+	m.delta = make([][]float64, len(m.layers))
+	m.gw = make([][]float64, len(m.layers))
+	m.gb = make([][]float64, len(m.layers))
+	for i := range m.layers {
+		in, out := sizes[i], sizes[i+1]
+		l := layer{in: in, out: out,
+			w: make([]float64, in*out), b: make([]float64, out),
+			mw: make([]float64, in*out), vw: make([]float64, in*out),
+			mb: make([]float64, out), vb: make([]float64, out)}
+		// Xavier/Glorot uniform initialization.
+		limit := math.Sqrt(6.0 / float64(in+out))
+		for j := range l.w {
+			l.w[j] = m.rng.Uniform(-limit, limit)
+		}
+		m.layers[i] = l
+		m.zs[i] = make([]float64, out)
+		m.delta[i] = make([]float64, out)
+		m.gw[i] = make([]float64, in*out)
+		m.gb[i] = make([]float64, out)
+		m.acts[i+1] = make([]float64, out)
+	}
+	m.step = 0
+}
+
+// forward runs the network on a standardized input, filling acts/zs.
+func (m *Model) forward(x []float64) float64 {
+	m.acts[0] = x
+	for li := range m.layers {
+		l := &m.layers[li]
+		in := m.acts[li]
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range in {
+				s += row[i] * v
+			}
+			m.zs[li][o] = s
+			if li == len(m.layers)-1 {
+				m.acts[li+1][o] = s // linear output
+			} else {
+				m.acts[li+1][o] = math.Tanh(s)
+			}
+		}
+	}
+	return m.acts[len(m.layers)][0]
+}
+
+// Fit trains the network with MAE loss and Adam.
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("dnn: empty or mismatched training data")
+	}
+	m.xs = num.FitStandardizer(x)
+	xs := m.xs.TransformAll(x)
+	m.yMean = num.Mean(y)
+	m.yStd = num.Std(y)
+	if m.yStd < 1e-12 {
+		m.yStd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.yStd
+	}
+	m.initNet(len(x[0]))
+
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += m.cfg.Batch {
+			end := start + m.cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.trainBatch(xs, ys, idx[start:end])
+		}
+	}
+	return nil
+}
+
+// trainBatch accumulates MAE gradients over one minibatch and applies Adam.
+func (m *Model) trainBatch(xs [][]float64, ys []float64, batch []int) {
+	for li := range m.layers {
+		clearSlice(m.gw[li])
+		clearSlice(m.gb[li])
+	}
+	inv := 1.0 / float64(len(batch))
+	for _, si := range batch {
+		pred := m.forward(xs[si])
+		// dMAE/dpred = sign(pred − y).
+		grad := 0.0
+		switch {
+		case pred > ys[si]:
+			grad = 1
+		case pred < ys[si]:
+			grad = -1
+		}
+		// Output layer delta (linear activation).
+		lastIdx := len(m.layers) - 1
+		m.delta[lastIdx][0] = grad
+		// Backpropagate.
+		for li := lastIdx; li >= 0; li-- {
+			l := &m.layers[li]
+			in := m.acts[li]
+			for o := 0; o < l.out; o++ {
+				d := m.delta[li][o]
+				if d == 0 {
+					continue
+				}
+				m.gb[li][o] += d * inv
+				row := m.gw[li][o*l.in : (o+1)*l.in]
+				for i, v := range in {
+					row[i] += d * v * inv
+				}
+			}
+			if li > 0 {
+				prev := m.delta[li-1]
+				clearSlice(prev)
+				for o := 0; o < l.out; o++ {
+					d := m.delta[li][o]
+					if d == 0 {
+						continue
+					}
+					row := l.w[o*l.in : (o+1)*l.in]
+					for i := range prev {
+						prev[i] += d * row[i]
+					}
+				}
+				// tanh'(z) = 1 − tanh(z)².
+				for i := range prev {
+					a := m.acts[li][i]
+					prev[i] *= 1 - a*a
+				}
+			}
+		}
+	}
+	m.adamStep()
+}
+
+// adamStep applies one Adam update with bias correction.
+func (m *Model) adamStep() {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	m.step++
+	bc1 := 1 - math.Pow(beta1, float64(m.step))
+	bc2 := 1 - math.Pow(beta2, float64(m.step))
+	for li := range m.layers {
+		l := &m.layers[li]
+		for j := range l.w {
+			g := m.gw[li][j]
+			l.mw[j] = beta1*l.mw[j] + (1-beta1)*g
+			l.vw[j] = beta2*l.vw[j] + (1-beta2)*g*g
+			l.w[j] -= m.cfg.LR * (l.mw[j] / bc1) / (math.Sqrt(l.vw[j]/bc2) + eps)
+		}
+		for j := range l.b {
+			g := m.gb[li][j]
+			l.mb[j] = beta1*l.mb[j] + (1-beta1)*g
+			l.vb[j] = beta2*l.vb[j] + (1-beta2)*g*g
+			l.b[j] -= m.cfg.LR * (l.mb[j] / bc1) / (math.Sqrt(l.vb[j]/bc2) + eps)
+		}
+	}
+}
+
+func clearSlice(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Predict implements predictor.Predictor.
+func (m *Model) Predict(x []float64) float64 {
+	if m.layers == nil {
+		return 0
+	}
+	out := m.forward(m.xs.Transform(x))
+	return out*m.yStd + m.yMean
+}
+
+// PredictBatch implements predictor.Predictor.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}

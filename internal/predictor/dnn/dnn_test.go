@@ -1,0 +1,115 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/num"
+)
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	// y = x² is beyond any linear model; the DNN must fit it.
+	rng := num.NewRNG(3)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Uniform(-1, 1)
+		x = append(x, []float64{v})
+		y = append(y, v*v)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 200
+	m := New(cfg, num.NewRNG(7))
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mse := 0.0
+	for _, v := range []float64{-0.8, -0.4, 0, 0.4, 0.8} {
+		d := m.Predict([]float64{v}) - v*v
+		mse += d * d
+	}
+	mse /= 5
+	if mse > 0.02 {
+		t.Fatalf("DNN failed to learn x²: test MSE %v", mse)
+	}
+}
+
+func TestDefaultArchitectureMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	want := []int{128, 128, 64, 32, 16}
+	if len(cfg.Hidden) != len(want) {
+		t.Fatalf("hidden = %v", cfg.Hidden)
+	}
+	for i, w := range want {
+		if cfg.Hidden[i] != w {
+			t.Fatalf("hidden = %v want %v", cfg.Hidden, want)
+		}
+	}
+}
+
+func TestNetworkShape(t *testing.T) {
+	m := New(Config{Hidden: []int{4, 2}, Epochs: 1, Batch: 2, LR: 1e-3}, num.NewRNG(1))
+	if err := m.Fit([][]float64{{1, 2, 3}, {4, 5, 6}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.layers) != 3 {
+		t.Fatalf("layers = %d want 3", len(m.layers))
+	}
+	if m.layers[0].in != 3 || m.layers[0].out != 4 {
+		t.Fatalf("layer0 = %dx%d", m.layers[0].in, m.layers[0].out)
+	}
+	if m.layers[2].out != 1 {
+		t.Fatalf("output layer out = %d", m.layers[2].out)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	x := [][]float64{{0.1}, {0.5}, {0.9}, {0.3}}
+	y := []float64{1, 2, 3, 4}
+	mk := func(seed uint64) float64 {
+		m := New(Config{Hidden: []int{8}, Epochs: 20, Batch: 2, LR: 1e-2}, num.NewRNG(seed))
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return m.Predict([]float64{0.7})
+	}
+	if mk(5) != mk(5) {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestUnfittedPredictsZero(t *testing.T) {
+	m := New(DefaultConfig(), num.NewRNG(1))
+	if m.Predict([]float64{1}) != 0 {
+		t.Fatal("unfitted must predict 0")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New(DefaultConfig(), num.NewRNG(1))
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit must error")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched fit must error")
+	}
+}
+
+func TestConstantTargetsStable(t *testing.T) {
+	// Zero-variance targets must not divide by zero.
+	m := New(Config{Hidden: []int{4}, Epochs: 5, Batch: 2, LR: 1e-3}, num.NewRNG(2))
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{2})
+	if math.IsNaN(p) || math.Abs(p-5) > 1 {
+		t.Fatalf("constant-target predict = %v", p)
+	}
+}
+
+func TestConfigSanitized(t *testing.T) {
+	m := New(Config{Hidden: []int{4}, Epochs: -1, Batch: -1, LR: -1}, num.NewRNG(1))
+	if m.cfg.Epochs <= 0 || m.cfg.Batch <= 0 || m.cfg.LR <= 0 {
+		t.Fatalf("config not sanitized: %+v", m.cfg)
+	}
+}

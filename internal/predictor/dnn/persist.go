@@ -1,0 +1,62 @@
+package dnn
+
+import "repro/internal/num"
+
+// LayerState is the serializable form of one dense layer.
+type LayerState struct {
+	In, Out int
+	W, B    []float64
+}
+
+// State is the serializable form of a trained network.
+type State struct {
+	Config Config
+	Layers []LayerState
+	XMean  []float64
+	XStd   []float64
+	YMean  float64
+	YStd   float64
+}
+
+// Export snapshots the trained network (Adam state is not persisted; a
+// restored model predicts but does not resume training).
+func (m *Model) Export() State {
+	s := State{Config: m.cfg, YMean: m.yMean, YStd: m.yStd}
+	if m.xs != nil {
+		s.XMean = append([]float64(nil), m.xs.Mean...)
+		s.XStd = append([]float64(nil), m.xs.Std...)
+	}
+	for i := range m.layers {
+		l := &m.layers[i]
+		s.Layers = append(s.Layers, LayerState{
+			In: l.in, Out: l.out,
+			W: append([]float64(nil), l.w...),
+			B: append([]float64(nil), l.b...),
+		})
+	}
+	return s
+}
+
+// Restore loads a snapshot into the model. The receiver must have been
+// built with New (the weight-initialization RNG is reused for buffer
+// setup before the stored weights overwrite it).
+func (m *Model) Restore(s State) {
+	m.cfg = s.Config
+	m.yMean, m.yStd = s.YMean, s.YStd
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	m.xs = &num.Standardizer{
+		Mean: append([]float64(nil), s.XMean...),
+		Std:  append([]float64(nil), s.XStd...),
+	}
+	if len(s.Layers) == 0 {
+		m.layers = nil
+		return
+	}
+	m.initNet(s.Layers[0].In)
+	for i := range m.layers {
+		copy(m.layers[i].w, s.Layers[i].W)
+		copy(m.layers[i].b, s.Layers[i].B)
+	}
+}

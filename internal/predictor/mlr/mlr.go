@@ -1,0 +1,75 @@
+// Package mlr implements the paper's simplest predictor: multiple linear
+// regression y = b0 + b1·x1 + … + bn·xn fit by minimizing the residual sum
+// of squares (§III-D.1, "Linear Regression: RSS loss").
+package mlr
+
+import (
+	"errors"
+
+	"repro/internal/num"
+)
+
+// Model is a multiple linear regression predictor.
+type Model struct {
+	// Ridge is a small L2 stabilizer on the normal equations; 0 keeps the
+	// pure RSS solution but a tiny default guards near-collinear features.
+	Ridge float64
+
+	weights []float64 // [intercept, b1..bn]
+}
+
+// New returns a linear-regression predictor with a numerically safe default
+// ridge term.
+func New() *Model { return &Model{Ridge: 1e-8} }
+
+// Name implements predictor.Predictor.
+func (m *Model) Name() string { return "LinReg" }
+
+// Fit solves the normal equations over X with an intercept column.
+func (m *Model) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return errors.New("mlr: empty or mismatched training data")
+	}
+	d := len(x[0])
+	design := num.NewMatrix(len(x), d+1)
+	for i, row := range x {
+		if len(row) != d {
+			return errors.New("mlr: ragged feature rows")
+		}
+		design.Set(i, 0, 1)
+		copy(design.Row(i)[1:], row)
+	}
+	w, err := num.LeastSquares(design, y, m.Ridge)
+	if err != nil {
+		return err
+	}
+	m.weights = w
+	return nil
+}
+
+// Predict implements predictor.Predictor.
+func (m *Model) Predict(x []float64) float64 {
+	if m.weights == nil {
+		return 0
+	}
+	s := m.weights[0]
+	for i, v := range x {
+		if i+1 >= len(m.weights) {
+			break
+		}
+		s += m.weights[i+1] * v
+	}
+	return s
+}
+
+// PredictBatch implements predictor.Predictor.
+func (m *Model) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Weights exposes the fitted coefficients (intercept first) for diagnostics.
+func (m *Model) Weights() []float64 { return append([]float64(nil), m.weights...) }

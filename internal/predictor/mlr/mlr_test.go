@@ -1,0 +1,77 @@
+package mlr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecoversLinearFunction(t *testing.T) {
+	// y = 1 + 2a − 3b
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{a, b})
+			y = append(y, 1+2*a-3*b)
+		}
+	}
+	m := New()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Weights()
+	if math.Abs(w[0]-1) > 1e-6 || math.Abs(w[1]-2) > 1e-6 || math.Abs(w[2]+3) > 1e-6 {
+		t.Fatalf("weights = %v", w)
+	}
+	if p := m.Predict([]float64{10, 1}); math.Abs(p-18) > 1e-6 {
+		t.Fatalf("predict = %v want 18", p)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	m := New()
+	_ = m.Fit([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	out := m.PredictBatch([][]float64{{3}, {4}})
+	if math.Abs(out[0]-3) > 1e-6 || math.Abs(out[1]-4) > 1e-6 {
+		t.Fatalf("batch = %v", out)
+	}
+}
+
+func TestUnfittedPredictsZero(t *testing.T) {
+	if New().Predict([]float64{1, 2}) != 0 {
+		t.Fatal("unfitted model must predict 0")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty data must error")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+func TestCollinearFeaturesStable(t *testing.T) {
+	// Two identical columns: ridge must keep the solve finite.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := New()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{5, 5})
+	if math.IsNaN(p) || math.Abs(p-10) > 0.1 {
+		t.Fatalf("collinear predict = %v want ~10", p)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "LinReg" {
+		t.Fatal("name mismatch")
+	}
+}

@@ -1,0 +1,18 @@
+package mlr
+
+// State is the serializable form of a fitted model.
+type State struct {
+	Ridge   float64
+	Weights []float64
+}
+
+// Export snapshots the fitted model.
+func (m *Model) Export() State {
+	return State{Ridge: m.Ridge, Weights: append([]float64(nil), m.weights...)}
+}
+
+// Restore loads a snapshot into the model.
+func (m *Model) Restore(s State) {
+	m.Ridge = s.Ridge
+	m.weights = append([]float64(nil), s.Weights...)
+}

@@ -1,0 +1,71 @@
+// Package predictor defines the common interface of the paper's four score
+// predictors (§III-D): multiple linear regression, a regression DNN,
+// Gaussian-process regression tuned by Bayesian optimization, and gradient
+// boosted trees (XGBoost). A predictor maps an instruction-accurate
+// simulator feature vector to a scalar score whose ordering — not its
+// absolute value — tracks the run-time ordering of implementations within
+// one kernel group.
+package predictor
+
+import "math"
+
+// Predictor is one trainable score model.
+type Predictor interface {
+	// Name identifies the predictor in reports ("LinReg", "DNN", ...).
+	Name() string
+	// Fit trains on feature rows X and normalized run-time targets y.
+	Fit(x [][]float64, y []float64) error
+	// Predict scores one feature vector (lower = predicted faster).
+	Predict(x []float64) float64
+	// PredictBatch scores many vectors.
+	PredictBatch(x [][]float64) []float64
+}
+
+// Loss is a scalar regression loss over prediction/target vectors.
+type Loss func(pred, want []float64) float64
+
+// MSE is the mean squared error.
+func MSE(pred, want []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - want[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MAE is the mean absolute error.
+func MAE(pred, want []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - want[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RSS is the residual sum of squares (the loss the paper's linear
+// regression minimizes).
+func RSS(pred, want []float64) float64 {
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - want[i]
+		s += d * d
+	}
+	return s
+}
+
+// BatchWith implements PredictBatch on top of a Predict func (helper shared
+// by the concrete predictors).
+func BatchWith(x [][]float64, f func([]float64) float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = f(row)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]float64{1, 2}, []float64{0, 4}); got != 2.5 {
+		t.Fatalf("mse = %v want 2.5", got)
+	}
+	if MSE(nil, nil) != 0 {
+		t.Fatal("empty mse must be 0")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 2}, []float64{0, 4}); got != 1.5 {
+		t.Fatalf("mae = %v want 1.5", got)
+	}
+	if MAE(nil, nil) != 0 {
+		t.Fatal("empty mae must be 0")
+	}
+}
+
+func TestRSS(t *testing.T) {
+	if got := RSS([]float64{1, 2}, []float64{0, 4}); got != 5 {
+		t.Fatalf("rss = %v want 5", got)
+	}
+}
+
+func TestBatchWith(t *testing.T) {
+	out := BatchWith([][]float64{{1}, {2}}, func(x []float64) float64 { return x[0] * 2 })
+	if out[0] != 2 || out[1] != 4 {
+		t.Fatalf("batch = %v", out)
+	}
+}
+
+func TestLossesNonNegative(t *testing.T) {
+	preds := []float64{1.5, -2, 0}
+	want := []float64{0, 0, 0}
+	for _, l := range []Loss{MSE, MAE, RSS} {
+		if v := l(preds, want); v < 0 || math.IsNaN(v) {
+			t.Fatalf("loss negative or NaN: %v", v)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/num"
+	"repro/internal/predictor"
+	"repro/internal/predictor/bayes"
+	"repro/internal/predictor/dnn"
+	"repro/internal/predictor/mlr"
+	"repro/internal/predictor/xgb"
+)
+
+// envelope wraps a predictor snapshot with its type tag.
+type envelope struct {
+	Kind  string
+	MLR   *mlr.State
+	DNN   *dnn.State
+	Bayes *bayes.State
+	XGB   *xgb.State
+}
+
+// Save serializes a trained predictor (gob). The paper's execution phase
+// runs on machines that never see the target board; persisting the trained
+// predictor is what makes that deployment real.
+func Save(p predictor.Predictor, w io.Writer) error {
+	env := envelope{}
+	switch m := p.(type) {
+	case *mlr.Model:
+		s := m.Export()
+		env.Kind, env.MLR = "LinReg", &s
+	case *dnn.Model:
+		s := m.Export()
+		env.Kind, env.DNN = "DNN", &s
+	case *bayes.Model:
+		s := m.Export()
+		env.Kind, env.Bayes = "Bayes", &s
+	case *xgb.Model:
+		s := m.Export()
+		env.Kind, env.XGB = "XGBoost", &s
+	default:
+		return fmt.Errorf("registry: cannot persist predictor type %T", p)
+	}
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("registry: encode: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a predictor saved with Save.
+func Load(r io.Reader) (predictor.Predictor, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("registry: decode: %w", err)
+	}
+	switch env.Kind {
+	case "LinReg":
+		if env.MLR == nil {
+			return nil, fmt.Errorf("registry: LinReg snapshot missing payload")
+		}
+		m := mlr.New()
+		m.Restore(*env.MLR)
+		return m, nil
+	case "DNN":
+		if env.DNN == nil {
+			return nil, fmt.Errorf("registry: DNN snapshot missing payload")
+		}
+		m := dnn.New(env.DNN.Config, num.NewRNG(0))
+		m.Restore(*env.DNN)
+		return m, nil
+	case "Bayes":
+		if env.Bayes == nil {
+			return nil, fmt.Errorf("registry: Bayes snapshot missing payload")
+		}
+		m := bayes.New(bayes.DefaultConfig(), num.NewRNG(0))
+		m.Restore(*env.Bayes)
+		return m, nil
+	case "XGBoost":
+		if env.XGB == nil {
+			return nil, fmt.Errorf("registry: XGBoost snapshot missing payload")
+		}
+		m := xgb.New(env.XGB.Config, num.NewRNG(0))
+		m.Restore(*env.XGB)
+		return m, nil
+	}
+	return nil, fmt.Errorf("registry: unknown snapshot kind %q", env.Kind)
+}

@@ -1,0 +1,77 @@
+package registry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/predictor"
+)
+
+// Every predictor must survive a save/load round trip with bit-identical
+// predictions.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	xTr, yTr := synthDataset(num.NewRNG(50), 120)
+	probes := [][]float64{
+		{0.3, 0.1, 0.6, 0.4, 1.0},
+		{0.5, 0.2, 0.2, 0.8, 0.7},
+		{0.25, 0.15, 0.9, 0.1, 1.2},
+	}
+	for _, name := range Names() {
+		orig := MustNew(name, num.NewRNG(42))
+		if err := orig.Fit(xTr, yTr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := Save(orig, &buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if back.Name() != name {
+			t.Fatalf("%s: restored name %q", name, back.Name())
+		}
+		for _, probe := range probes {
+			a, b := orig.Predict(probe), back.Predict(probe)
+			if a != b {
+				t.Fatalf("%s: prediction changed after round trip: %v vs %v", name, a, b)
+			}
+			if math.IsNaN(a) {
+				t.Fatalf("%s: NaN prediction", name)
+			}
+		}
+		// Batch predictions must also survive.
+		pa := orig.PredictBatch(probes)
+		pb := back.PredictBatch(probes)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%s: batch prediction diverged", name)
+			}
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}
+
+func TestSaveUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(fakePredictor{}, &buf); err == nil {
+		t.Fatal("unknown predictor type must error")
+	}
+}
+
+type fakePredictor struct{}
+
+func (fakePredictor) Name() string                         { return "fake" }
+func (fakePredictor) Fit([][]float64, []float64) error     { return nil }
+func (fakePredictor) Predict([]float64) float64            { return 0 }
+func (fakePredictor) PredictBatch(x [][]float64) []float64 { return make([]float64, len(x)) }
+
+var _ predictor.Predictor = fakePredictor{}

@@ -1,0 +1,53 @@
+// Package registry constructs the paper's four predictors by name, with the
+// tuned configurations of §IV-C, seeded from an explicit RNG for
+// reproducibility.
+package registry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/num"
+	"repro/internal/predictor"
+	"repro/internal/predictor/bayes"
+	"repro/internal/predictor/dnn"
+	"repro/internal/predictor/mlr"
+	"repro/internal/predictor/xgb"
+)
+
+// Names lists the predictors in the paper's table order.
+func Names() []string { return []string{"LinReg", "DNN", "Bayes", "XGBoost"} }
+
+// New builds a fresh predictor by (case-insensitive) name.
+func New(name string, rng *num.RNG) (predictor.Predictor, error) {
+	switch strings.ToLower(name) {
+	case "linreg", "mlr", "linear":
+		return mlr.New(), nil
+	case "dnn", "nn":
+		return dnn.New(dnn.DefaultConfig(), rng), nil
+	case "bayes", "gp", "bayesopt":
+		return bayes.New(bayes.DefaultConfig(), rng), nil
+	case "xgboost", "xgb":
+		return xgb.New(xgb.DefaultConfig(), rng), nil
+	}
+	return nil, fmt.Errorf("registry: unknown predictor %q (want one of %v)", name, Names())
+}
+
+// MustNew is New that panics on unknown names (static experiment tables).
+func MustNew(name string, rng *num.RNG) predictor.Predictor {
+	p, err := New(name, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All returns one fresh instance of every predictor, each seeded from a
+// split of rng.
+func All(rng *num.RNG) []predictor.Predictor {
+	out := make([]predictor.Predictor, 0, len(Names()))
+	for _, n := range Names() {
+		out = append(out, MustNew(n, rng.Split()))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/num"
+)
+
+func TestNamesResolve(t *testing.T) {
+	rng := num.NewRNG(1)
+	for _, n := range Names() {
+		p, err := New(n, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != n {
+			t.Fatalf("predictor %q reports name %q", n, p.Name())
+		}
+	}
+	aliases := []string{"mlr", "nn", "gp", "xgb", "LINREG"}
+	for _, a := range aliases {
+		if _, err := New(a, rng.Split()); err != nil {
+			t.Fatalf("alias %q failed: %v", a, err)
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := New("forest", num.NewRNG(1)); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic")
+		}
+	}()
+	MustNew("forest", num.NewRNG(1))
+}
+
+func TestAllReturnsFour(t *testing.T) {
+	ps := All(num.NewRNG(2))
+	if len(ps) != 4 {
+		t.Fatalf("want 4 predictors, got %d", len(ps))
+	}
+}
+
+// synthDataset builds a synthetic "autotuning-like" regression problem:
+// features resemble cache ratios, the target is a noisy nonlinear mix.
+func synthDataset(rng *num.RNG, n int) (x [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		hit := rng.Float64()               // L1 hit ratio
+		miss := 1 - hit                    // miss ratio
+		loads := 0.2 + 0.4*rng.Float64()   // load fraction
+		branch := 0.05 + 0.2*rng.Float64() // branch fraction
+		total := 0.5 + rng.Float64()       // normalized total instructions
+		row := []float64{loads, branch, hit, miss, total}
+		target := 2.0*miss + 0.8*total + 0.5*loads*miss + 0.2*branch +
+			0.02*rng.NormFloat64()
+		x = append(x, row)
+		y = append(y, target)
+	}
+	return x, y
+}
+
+// Every predictor must learn the synthetic problem well enough to rank a
+// held-out set (Spearman > 0.8) — the property the paper relies on.
+func TestAllPredictorsRankHeldOut(t *testing.T) {
+	rng := num.NewRNG(77)
+	xTr, yTr := synthDataset(rng, 240)
+	xTe, yTe := synthDataset(rng, 60)
+	for _, p := range All(num.NewRNG(5)) {
+		if err := p.Fit(xTr, yTr); err != nil {
+			t.Fatalf("%s: fit: %v", p.Name(), err)
+		}
+		preds := p.PredictBatch(xTe)
+		rho := num.Spearman(preds, yTe)
+		if rho < 0.8 {
+			t.Fatalf("%s: held-out Spearman %.3f < 0.8", p.Name(), rho)
+		}
+	}
+}
+
+// Determinism: identical seeds must give identical predictions.
+func TestPredictorsDeterministic(t *testing.T) {
+	xTr, yTr := synthDataset(num.NewRNG(8), 120)
+	probe := []float64{0.3, 0.1, 0.6, 0.4, 1.0}
+	for _, name := range Names() {
+		a := MustNew(name, num.NewRNG(42))
+		b := MustNew(name, num.NewRNG(42))
+		if err := a.Fit(xTr, yTr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Fit(xTr, yTr); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pa, pb := a.Predict(probe), b.Predict(probe)
+		if pa != pb {
+			t.Fatalf("%s: predictions differ under same seed: %v vs %v", name, pa, pb)
+		}
+		if math.IsNaN(pa) {
+			t.Fatalf("%s: NaN prediction", name)
+		}
+	}
+}
+
+func TestFitErrorsPropagate(t *testing.T) {
+	for _, name := range Names() {
+		p := MustNew(name, num.NewRNG(1))
+		if err := p.Fit(nil, nil); err == nil {
+			t.Fatalf("%s: empty fit must error", name)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package xgb
+
+// NodeState is the serializable form of one tree node.
+type NodeState struct {
+	Feat        int
+	Thresh      float64
+	Left, Right int
+	Leaf        float64
+	IsLeaf      bool
+}
+
+// State is the serializable form of a fitted ensemble.
+type State struct {
+	Config Config
+	Base   float64
+	Trees  [][]NodeState
+}
+
+// Export snapshots the fitted ensemble.
+func (m *Model) Export() State {
+	s := State{Config: m.cfg, Base: m.base}
+	for _, t := range m.trees {
+		nodes := make([]NodeState, len(t.nodes))
+		for i, n := range t.nodes {
+			nodes[i] = NodeState{Feat: n.feat, Thresh: n.thresh,
+				Left: n.left, Right: n.right, Leaf: n.leaf, IsLeaf: n.isLeaf}
+		}
+		s.Trees = append(s.Trees, nodes)
+	}
+	return s
+}
+
+// Restore loads a snapshot into the model.
+func (m *Model) Restore(s State) {
+	m.cfg = s.Config
+	m.base = s.Base
+	m.trees = m.trees[:0]
+	for _, nodes := range s.Trees {
+		t := tree{nodes: make([]node, len(nodes))}
+		for i, n := range nodes {
+			t.nodes[i] = node{feat: n.Feat, thresh: n.Thresh,
+				left: n.Left, right: n.Right, leaf: n.Leaf, isLeaf: n.IsLeaf}
+		}
+		m.trees = append(m.trees, t)
+	}
+}

@@ -1,0 +1,56 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lower"
+	"repro/internal/sim"
+)
+
+// SimRunFunc executes one built program on a simulator and returns its
+// statistics — the Go analogue of the paper's simulator_run function that
+// "serves as a simulator interface and can be overwritten to use a simulator
+// for execution" (§III-A).
+type SimRunFunc func(p *lower.Program) (*sim.Stats, error)
+
+// SimulatorRunKey is the registry name of the simulator-execution hook, the
+// analogue of TVM's auto_scheduler.local_runner.run registry entry that
+// Listing 4 overrides.
+const SimulatorRunKey = "simtune.simulator_run"
+
+// funcRegistry mirrors TVM's global function registry
+// (tvm._ffi.register_func with override semantics, Listing 4).
+type funcRegistry struct {
+	mu  sync.RWMutex
+	fns map[string]SimRunFunc
+}
+
+var globalRegistry = &funcRegistry{fns: map[string]SimRunFunc{}}
+
+// RegisterFunc installs fn under name. Registering an existing name requires
+// override=true, exactly like tvm._ffi.register_func(..., override=True).
+func RegisterFunc(name string, fn SimRunFunc, override bool) error {
+	globalRegistry.mu.Lock()
+	defer globalRegistry.mu.Unlock()
+	if _, exists := globalRegistry.fns[name]; exists && !override {
+		return fmt.Errorf("runner: function %q already registered (use override)", name)
+	}
+	globalRegistry.fns[name] = fn
+	return nil
+}
+
+// LookupFunc retrieves a registered function.
+func LookupFunc(name string) (SimRunFunc, bool) {
+	globalRegistry.mu.RLock()
+	defer globalRegistry.mu.RUnlock()
+	fn, ok := globalRegistry.fns[name]
+	return fn, ok
+}
+
+// UnregisterFunc removes a registration (used by tests).
+func UnregisterFunc(name string) {
+	globalRegistry.mu.Lock()
+	defer globalRegistry.mu.Unlock()
+	delete(globalRegistry.fns, name)
+}

@@ -1,0 +1,317 @@
+// Package schedule implements the scheduling layer of the reproduction: the
+// analogue of TVM schedules (Listing 2 of the paper). A Schedule owns an
+// ordered list of loop IterVars derived from a ComputeOp's axes and supports
+// the transformation primitives the paper's search spaces use: split,
+// reorder, unroll, vectorize, parallel.
+//
+// Every mutation is recorded as a replayable Step so that a schedule (an
+// "implementation" in the paper's terminology) can be serialized, hashed for
+// deduplication, mutated by the evolutionary search, and rebuilt against a
+// fresh ComputeOp instance for concurrent simulation.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/te"
+)
+
+// Annotation marks how a loop level is realized by the code generator.
+type Annotation int
+
+// Loop annotations.
+const (
+	// AnnNone is a plain sequential loop.
+	AnnNone Annotation = iota
+	// AnnUnroll fully unrolls the loop (body replicated, loop overhead gone,
+	// code footprint multiplied).
+	AnnUnroll
+	// AnnVectorize maps the loop onto SIMD lanes of the target ISA. On
+	// targets without vectors (the paper's SiFive U74) it degrades to a
+	// plain loop.
+	AnnVectorize
+	// AnnParallel marks the loop as parallelizable. The paper's setup is
+	// single-core ("Our focus is on single-core workloads", §III-B), so
+	// codegen treats it as sequential, but the annotation is kept for API
+	// fidelity with TVM.
+	AnnParallel
+)
+
+func (a Annotation) String() string {
+	switch a {
+	case AnnNone:
+		return "none"
+	case AnnUnroll:
+		return "unroll"
+	case AnnVectorize:
+		return "vectorize"
+	case AnnParallel:
+		return "parallel"
+	}
+	return "?"
+}
+
+// IterVar is one loop of the schedule. Splitting an axis produces IterVars
+// whose Weight encodes their contribution to the original axis value:
+// axisValue = Σ_leaves Weight·leafValue.
+type IterVar struct {
+	Name   string
+	Extent int
+	Src    *te.Axis // original compute axis this loop contributes to
+	Weight int      // multiplier of this loop's value in the axis value
+	Ann    Annotation
+}
+
+// Kind returns the axis kind (spatial/reduce) of the underlying axis.
+func (iv *IterVar) Kind() te.AxisKind { return iv.Src.Kind }
+
+func (iv *IterVar) String() string {
+	return fmt.Sprintf("%s[%d]%s", iv.Name, iv.Extent, annSuffix(iv.Ann))
+}
+
+func annSuffix(a Annotation) string {
+	switch a {
+	case AnnUnroll:
+		return "#u"
+	case AnnVectorize:
+		return "#v"
+	case AnnParallel:
+		return "#p"
+	}
+	return ""
+}
+
+// Step is one recorded schedule transformation, replayable on a fresh
+// schedule of the same op.
+type Step struct {
+	// Kind is "split", "reorder", or "annotate".
+	Kind string
+	// Leaf is the index of the target leaf at application time (split,
+	// annotate).
+	Leaf int
+	// Factor is the split inner extent.
+	Factor int
+	// Perm is the leaf permutation (reorder).
+	Perm []int
+	// Ann is the annotation value (annotate).
+	Ann Annotation
+}
+
+// Schedule is an ordered loop nest over a ComputeOp plus the step log that
+// produced it.
+type Schedule struct {
+	Op     *te.ComputeOp
+	Leaves []*IterVar
+	Steps  []Step
+}
+
+// New creates the default schedule: one loop per axis, spatial axes
+// outermost, in compute-definition order (TVM's create_schedule).
+func New(op *te.ComputeOp) *Schedule {
+	s := &Schedule{Op: op}
+	for _, ax := range op.AllAxes() {
+		s.Leaves = append(s.Leaves, &IterVar{Name: ax.Name, Extent: ax.Extent, Src: ax, Weight: 1})
+	}
+	return s
+}
+
+// LeafIndex returns the position of iv in the current loop order, or -1.
+func (s *Schedule) LeafIndex(iv *IterVar) int {
+	for i, l := range s.Leaves {
+		if l == iv {
+			return i
+		}
+	}
+	return -1
+}
+
+// Split divides a loop into outer×inner with the given inner extent. When
+// factor does not divide the extent the outer loop rounds up and lowering
+// emits a boundary guard. It returns the new (outer, inner) loops, replacing
+// iv in place.
+func (s *Schedule) Split(iv *IterVar, factor int) (*IterVar, *IterVar, error) {
+	idx := s.LeafIndex(iv)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("schedule: split target %s not in schedule", iv.Name)
+	}
+	if factor <= 0 {
+		return nil, nil, fmt.Errorf("schedule: split factor %d must be positive", factor)
+	}
+	if factor > iv.Extent {
+		factor = iv.Extent
+	}
+	outerExt := (iv.Extent + factor - 1) / factor
+	outer := &IterVar{
+		Name: iv.Name + ".o", Extent: outerExt,
+		Src: iv.Src, Weight: iv.Weight * factor,
+	}
+	inner := &IterVar{
+		Name: iv.Name + ".i", Extent: factor,
+		Src: iv.Src, Weight: iv.Weight,
+	}
+	repl := make([]*IterVar, 0, len(s.Leaves)+1)
+	repl = append(repl, s.Leaves[:idx]...)
+	repl = append(repl, outer, inner)
+	repl = append(repl, s.Leaves[idx+1:]...)
+	s.Leaves = repl
+	s.Steps = append(s.Steps, Step{Kind: "split", Leaf: idx, Factor: factor})
+	return outer, inner, nil
+}
+
+// Reorder rearranges the loops to the given order, which must be a
+// permutation of the current leaves.
+func (s *Schedule) Reorder(order []*IterVar) error {
+	if len(order) != len(s.Leaves) {
+		return fmt.Errorf("schedule: reorder with %d loops, schedule has %d", len(order), len(s.Leaves))
+	}
+	perm := make([]int, len(order))
+	seen := make([]bool, len(s.Leaves))
+	for i, iv := range order {
+		idx := s.LeafIndex(iv)
+		if idx < 0 {
+			return fmt.Errorf("schedule: reorder target %s not in schedule", iv.Name)
+		}
+		if seen[idx] {
+			return fmt.Errorf("schedule: reorder repeats loop %s", iv.Name)
+		}
+		seen[idx] = true
+		perm[i] = idx
+	}
+	s.Leaves = append([]*IterVar(nil), order...)
+	s.Steps = append(s.Steps, Step{Kind: "reorder", Perm: perm})
+	return nil
+}
+
+// Annotate sets the loop annotation (unroll/vectorize/parallel).
+func (s *Schedule) Annotate(iv *IterVar, ann Annotation) error {
+	idx := s.LeafIndex(iv)
+	if idx < 0 {
+		return fmt.Errorf("schedule: annotate target %s not in schedule", iv.Name)
+	}
+	iv.Ann = ann
+	s.Steps = append(s.Steps, Step{Kind: "annotate", Leaf: idx, Ann: ann})
+	return nil
+}
+
+// Unroll marks the loop for full unrolling.
+func (s *Schedule) Unroll(iv *IterVar) error { return s.Annotate(iv, AnnUnroll) }
+
+// Vectorize marks the loop for SIMD execution.
+func (s *Schedule) Vectorize(iv *IterVar) error { return s.Annotate(iv, AnnVectorize) }
+
+// Parallel marks the loop as parallel (kept for TVM API fidelity; single-core
+// codegen runs it sequentially).
+func (s *Schedule) Parallel(iv *IterVar) error { return s.Annotate(iv, AnnParallel) }
+
+// Replay applies a recorded step log to a fresh schedule of op.
+func Replay(op *te.ComputeOp, steps []Step) (*Schedule, error) {
+	s := New(op)
+	for i, st := range steps {
+		switch st.Kind {
+		case "split":
+			if st.Leaf < 0 || st.Leaf >= len(s.Leaves) {
+				return nil, fmt.Errorf("schedule: replay step %d: leaf %d out of range", i, st.Leaf)
+			}
+			if _, _, err := s.Split(s.Leaves[st.Leaf], st.Factor); err != nil {
+				return nil, fmt.Errorf("schedule: replay step %d: %w", i, err)
+			}
+		case "reorder":
+			if len(st.Perm) != len(s.Leaves) {
+				return nil, fmt.Errorf("schedule: replay step %d: perm len %d vs %d leaves", i, len(st.Perm), len(s.Leaves))
+			}
+			order := make([]*IterVar, len(st.Perm))
+			for j, idx := range st.Perm {
+				if idx < 0 || idx >= len(s.Leaves) {
+					return nil, fmt.Errorf("schedule: replay step %d: perm index %d out of range", i, idx)
+				}
+				order[j] = s.Leaves[idx]
+			}
+			if err := s.Reorder(order); err != nil {
+				return nil, fmt.Errorf("schedule: replay step %d: %w", i, err)
+			}
+		case "annotate":
+			if st.Leaf < 0 || st.Leaf >= len(s.Leaves) {
+				return nil, fmt.Errorf("schedule: replay step %d: leaf %d out of range", i, st.Leaf)
+			}
+			if err := s.Annotate(s.Leaves[st.Leaf], st.Ann); err != nil {
+				return nil, fmt.Errorf("schedule: replay step %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("schedule: replay step %d: unknown kind %q", i, st.Kind)
+		}
+	}
+	return s, nil
+}
+
+// Fingerprint returns a stable string identifying the transformation
+// sequence, used for deduplicating candidate implementations.
+func Fingerprint(steps []Step) string {
+	var b strings.Builder
+	for _, st := range steps {
+		switch st.Kind {
+		case "split":
+			fmt.Fprintf(&b, "S%d:%d;", st.Leaf, st.Factor)
+		case "reorder":
+			b.WriteString("R")
+			for _, p := range st.Perm {
+				fmt.Fprintf(&b, "%d,", p)
+			}
+			b.WriteString(";")
+		case "annotate":
+			fmt.Fprintf(&b, "A%d:%d;", st.Leaf, st.Ann)
+		}
+	}
+	return b.String()
+}
+
+// String renders the loop order, e.g. "co.o[4] oh[7] ow[7] ci[8] co.i[16]#v".
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Leaves))
+	for i, l := range s.Leaves {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Validate checks schedule invariants: weights/extents cover each axis
+// exactly and at most one loop is vectorized (the innermost).
+func (s *Schedule) Validate() error {
+	// Per-axis: the maximum representable value must cover extent-1 and the
+	// product of leaf extents must be ≥ the axis extent.
+	perAxis := map[*te.Axis][]*IterVar{}
+	for _, l := range s.Leaves {
+		perAxis[l.Src] = append(perAxis[l.Src], l)
+	}
+	for _, ax := range s.Op.AllAxes() {
+		leaves := perAxis[ax]
+		if len(leaves) == 0 {
+			return fmt.Errorf("schedule: axis %s has no loops", ax.Name)
+		}
+		prod := 1
+		maxVal := 0
+		for _, l := range leaves {
+			prod *= l.Extent
+			maxVal += (l.Extent - 1) * l.Weight
+		}
+		if prod < ax.Extent {
+			return fmt.Errorf("schedule: axis %s loops cover %d < extent %d", ax.Name, prod, ax.Extent)
+		}
+		if maxVal < ax.Extent-1 {
+			return fmt.Errorf("schedule: axis %s max value %d < extent-1 %d", ax.Name, maxVal, ax.Extent-1)
+		}
+	}
+	nVec := 0
+	for i, l := range s.Leaves {
+		if l.Ann == AnnVectorize {
+			nVec++
+			if i != len(s.Leaves)-1 {
+				return fmt.Errorf("schedule: vectorized loop %s is not innermost", l.Name)
+			}
+		}
+	}
+	if nVec > 1 {
+		return fmt.Errorf("schedule: %d vectorized loops, at most 1 allowed", nVec)
+	}
+	return nil
+}

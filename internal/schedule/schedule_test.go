@@ -1,0 +1,201 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/te"
+)
+
+func newMatmulSched() *Schedule {
+	return New(te.MatMul(8, 8, 8).Op)
+}
+
+func TestNewScheduleDefaultOrder(t *testing.T) {
+	s := newMatmulSched()
+	if len(s.Leaves) != 3 {
+		t.Fatalf("leaves = %d", len(s.Leaves))
+	}
+	// spatial i, j then reduce k
+	if s.Leaves[0].Name != "i" || s.Leaves[1].Name != "j" || s.Leaves[2].Name != "k" {
+		t.Fatalf("order = %v", s)
+	}
+	if s.Leaves[2].Kind() != te.Reduce {
+		t.Fatal("k must be a reduce loop")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	s := newMatmulSched()
+	outer, inner, err := s.Split(s.Leaves[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Extent != 2 || inner.Extent != 4 {
+		t.Fatalf("split extents = %d,%d", outer.Extent, inner.Extent)
+	}
+	if outer.Weight != 4 || inner.Weight != 1 {
+		t.Fatalf("split weights = %d,%d", outer.Weight, inner.Weight)
+	}
+	if len(s.Leaves) != 4 {
+		t.Fatalf("leaves after split = %d", len(s.Leaves))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitNonDivisible(t *testing.T) {
+	s := New(te.MatMul(10, 8, 8).Op)
+	outer, inner, err := s.Split(s.Leaves[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Extent != 4 || inner.Extent != 3 { // ceil(10/3)=4
+		t.Fatalf("split extents = %d,%d", outer.Extent, inner.Extent)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitFactorClamped(t *testing.T) {
+	s := newMatmulSched()
+	outer, inner, err := s.Split(s.Leaves[0], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Extent != 1 || inner.Extent != 8 {
+		t.Fatalf("clamped split = %d,%d", outer.Extent, inner.Extent)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	s := newMatmulSched()
+	if _, _, err := s.Split(&IterVar{Name: "ghost", Src: s.Leaves[0].Src}, 2); err == nil {
+		t.Fatal("split of foreign itervar must fail")
+	}
+	if _, _, err := s.Split(s.Leaves[0], 0); err == nil {
+		t.Fatal("split factor 0 must fail")
+	}
+}
+
+func TestNestedSplitWeights(t *testing.T) {
+	s := New(te.MatMul(16, 8, 8).Op)
+	outer, _, _ := s.Split(s.Leaves[0], 4) // i.o weight 4
+	oo, oi, _ := s.Split(outer, 2)         // i.o.o weight 8, i.o.i weight 4
+	if oo.Weight != 8 || oi.Weight != 4 {
+		t.Fatalf("nested weights = %d,%d", oo.Weight, oi.Weight)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorder(t *testing.T) {
+	s := newMatmulSched()
+	i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+	if err := s.Reorder([]*IterVar{k, i, j}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Leaves[0] != k || s.Leaves[1] != i || s.Leaves[2] != j {
+		t.Fatalf("reorder failed: %v", s)
+	}
+}
+
+func TestReorderErrors(t *testing.T) {
+	s := newMatmulSched()
+	i, j := s.Leaves[0], s.Leaves[1]
+	if err := s.Reorder([]*IterVar{i, j}); err == nil {
+		t.Fatal("short reorder must fail")
+	}
+	if err := s.Reorder([]*IterVar{i, j, j}); err == nil {
+		t.Fatal("repeated loop must fail")
+	}
+	if err := s.Reorder([]*IterVar{i, j, {Name: "ghost", Src: i.Src}}); err == nil {
+		t.Fatal("foreign loop must fail")
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	s := newMatmulSched()
+	if err := s.Vectorize(s.Leaves[2]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Leaves[2].Ann != AnnVectorize {
+		t.Fatal("annotation not set")
+	}
+	if err := s.Unroll(s.Leaves[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Parallel(s.Leaves[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateVectorizeNotInnermost(t *testing.T) {
+	s := newMatmulSched()
+	if err := s.Vectorize(s.Leaves[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("vectorize on outer loop must fail validation")
+	}
+}
+
+func TestReplayReproducesSchedule(t *testing.T) {
+	s := newMatmulSched()
+	i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+	_, ji, _ := s.Split(j, 4)
+	_ = s.Reorder([]*IterVar{s.Leaves[0], s.Leaves[1], k, ji})
+	_ = s.Vectorize(ji)
+	_ = i
+
+	s2, err := Replay(te.MatMul(8, 8, 8).Op, s.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != s2.String() {
+		t.Fatalf("replay mismatch:\n%s\n%s", s, s2)
+	}
+	if Fingerprint(s.Steps) != Fingerprint(s2.Steps) {
+		t.Fatal("fingerprints differ after replay")
+	}
+}
+
+func TestReplayRejectsBadSteps(t *testing.T) {
+	op := te.MatMul(4, 4, 4).Op
+	cases := [][]Step{
+		{{Kind: "split", Leaf: 99, Factor: 2}},
+		{{Kind: "reorder", Perm: []int{0, 1}}},
+		{{Kind: "reorder", Perm: []int{0, 1, 99}}},
+		{{Kind: "annotate", Leaf: -1, Ann: AnnUnroll}},
+		{{Kind: "warp"}},
+	}
+	for i, steps := range cases {
+		if _, err := Replay(op, steps); err == nil {
+			t.Fatalf("case %d: bad replay must fail", i)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := []Step{{Kind: "split", Leaf: 0, Factor: 2}}
+	b := []Step{{Kind: "split", Leaf: 0, Factor: 4}}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("fingerprints must differ for different factors")
+	}
+}
+
+func TestStringRendersAnnotations(t *testing.T) {
+	s := newMatmulSched()
+	_ = s.Vectorize(s.Leaves[2])
+	if got := s.String(); got != "i[8] j[8] k[8]#v" {
+		t.Fatalf("render = %q", got)
+	}
+}

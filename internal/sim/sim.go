@@ -1,0 +1,146 @@
+// Package sim is the instruction-accurate simulator of the reproduction —
+// the analogue of gem5 in atomic mode with the SimpleCPU model (§II-C,
+// §III-B of the paper). It executes no timing model: it only counts executed
+// instructions by class and replays every memory access against a
+// parameterizable cache hierarchy replicating the target CPU's geometry
+// (Table I). Its output statistics are exactly the quantities the paper's
+// score predictor consumes (§III-D):
+//
+//   - executed load/store/branch instruction counts and the total,
+//   - per-cache read/write hits, misses and replacements vs accesses.
+package sim
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/lower"
+)
+
+// LevelStats pairs a cache level name with its counters.
+type LevelStats struct {
+	Name  string
+	Stats cache.Stats
+}
+
+// Stats is the statistics record of one simulated program execution
+// (the analogue of a gem5 stats file).
+type Stats struct {
+	Arch isa.Arch
+	// Instr counts executed instructions per class.
+	Instr [isa.NumClasses]uint64
+	// Total is the executed instruction count.
+	Total uint64
+	// Loads/Stores/Branches aggregate scalar+vector memory and branch
+	// instruction counts.
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	// LoopExits counts loop-termination branches (not exposed to the
+	// predictor; used by tests and diagnostics).
+	LoopExits uint64
+	// Caches lists per-level counters in L1D, L1I, L2[, L3] order.
+	Caches []LevelStats
+	// SimWallSeconds is the host wall-clock time this simulation took
+	// (measured, used by the Eq. (4) analysis alongside the modelled rate).
+	SimWallSeconds float64
+}
+
+// Cache returns the stats of a named level (zero value if absent).
+func (s *Stats) Cache(name string) (cache.Stats, bool) {
+	for _, l := range s.Caches {
+		if l.Name == name {
+			return l.Stats, true
+		}
+	}
+	return cache.Stats{}, false
+}
+
+// Machine is one simulator instance. It implements lower.Sink; feed it a
+// program execution and then read Stats. The paper runs many instances in
+// parallel (n_parallel); Machines are single-goroutine, so create one per
+// worker.
+type Machine struct {
+	model     isa.Model
+	hier      *cache.Hierarchy
+	instr     [isa.NumClasses]uint64
+	loopExits uint64
+	lastLine  uint64
+	haveLine  bool
+}
+
+// New builds a simulator for an ISA with the given cache geometry.
+func New(arch isa.Arch, caches cache.HierarchyConfig) (*Machine, error) {
+	h, err := cache.NewHierarchy(caches)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{model: isa.Lookup(arch), hier: h}, nil
+}
+
+// Consume implements lower.Sink.
+func (m *Machine) Consume(events []lower.Event) {
+	for i := range events {
+		e := &events[i]
+		m.instr[e.Class]++
+		// Instruction fetch at line granularity: sequential code re-uses
+		// the current line; crossing a line (or jumping) fetches anew.
+		line := e.PC &^ 63
+		if !m.haveLine || line != m.lastLine {
+			m.hier.Fetch(line, 1)
+			m.lastLine = line
+			m.haveLine = true
+		}
+		switch {
+		case e.Class.IsLoad():
+			m.hier.Data(e.Addr, uint32(e.Size), false)
+		case e.Class.IsStore():
+			m.hier.Data(e.Addr, uint32(e.Size), true)
+		case e.Class == isa.Branch:
+			if e.Flags&lower.FlagLoopExit != 0 {
+				m.loopExits++
+			}
+		}
+	}
+}
+
+// Stats snapshots the counters collected so far.
+func (m *Machine) Stats() *Stats {
+	s := &Stats{Arch: m.model.Arch, Instr: m.instr, LoopExits: m.loopExits}
+	for _, c := range m.instr {
+		s.Total += c
+	}
+	s.Loads = m.instr[isa.Load] + m.instr[isa.VLoad]
+	s.Stores = m.instr[isa.Store] + m.instr[isa.VStore]
+	s.Branches = m.instr[isa.Branch]
+	for _, lv := range m.hier.Levels() {
+		s.Caches = append(s.Caches, LevelStats{Name: lv.Config().Name, Stats: lv.Stats})
+	}
+	return s
+}
+
+// CheckInvariants validates cache counter consistency.
+func (m *Machine) CheckInvariants() error { return m.hier.CheckStats() }
+
+// Reset clears instruction counters and cache contents (cold start).
+func (m *Machine) Reset() {
+	m.instr = [isa.NumClasses]uint64{}
+	m.loopExits = 0
+	m.haveLine = false
+	m.hier.Reset()
+}
+
+// Run executes a lowered program on a fresh simulator instance and returns
+// its statistics, including the measured simulation wall time.
+func Run(p *lower.Program, caches cache.HierarchyConfig) (*Stats, error) {
+	m, err := New(p.Model.Arch, caches)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	lower.Execute(p, m, false)
+	stats := m.Stats()
+	stats.SimWallSeconds = time.Since(start).Seconds()
+	return stats, nil
+}

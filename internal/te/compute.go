@@ -1,0 +1,206 @@
+package te
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CombineKind selects the reduction combinator.
+type CombineKind int
+
+// Reduction combinators.
+const (
+	// CombineSum accumulates with + (matmul, convolution).
+	CombineSum CombineKind = iota
+	// CombineMax accumulates with max (pooling).
+	CombineMax
+)
+
+// ComputeOp is one kernel definition: for every point of the spatial
+// iteration domain, the reduce body is accumulated over the reduce domain
+// with the Combine operator (sum by default), the epilogue maps the
+// accumulator to the stored value, and the result is written to Out at the
+// spatial coordinates given by OutIndex.
+type ComputeOp struct {
+	Name    string
+	Out     *tensor.Tensor
+	Spatial []*Axis
+	Reduce  []*Axis
+	// OutIndex maps spatial axes to output-tensor coordinates (one affine per
+	// output dim). For the common case it is the identity over Spatial.
+	OutIndex []Affine
+	// Init is the accumulator start value (0 for sum reductions, the most
+	// negative float for max reductions).
+	Init float32
+	// Combine is the reduction combinator (sum by default).
+	Combine CombineKind
+	// ReduceBody is evaluated once per reduce-domain point and folded into
+	// the accumulator with Combine. For ops with no reduce axes it is
+	// evaluated exactly once.
+	ReduceBody Expr
+	// Epilogue maps the final accumulator to the stored value; nil means
+	// identity. It may reference additional input tensors (e.g. bias) but
+	// only through spatial axes.
+	Epilogue Expr
+	// Inputs lists every distinct input tensor (for placement/reporting).
+	Inputs []*tensor.Tensor
+}
+
+// NewComputeOp wires up axis IDs (spatial first, then reduce) and validates
+// the definition.
+func NewComputeOp(name string, out *tensor.Tensor, spatial, reduce []*Axis, outIndex []Affine, init float32, body, epilogue Expr, inputs []*tensor.Tensor) *ComputeOp {
+	id := 0
+	for _, a := range spatial {
+		a.Kind = Spatial
+		a.ID = id
+		id++
+	}
+	for _, a := range reduce {
+		a.Kind = Reduce
+		a.ID = id
+		id++
+	}
+	op := &ComputeOp{
+		Name: name, Out: out, Spatial: spatial, Reduce: reduce,
+		OutIndex: outIndex, Init: init, ReduceBody: body, Epilogue: epilogue,
+		Inputs: inputs,
+	}
+	if err := op.Validate(); err != nil {
+		panic(err)
+	}
+	return op
+}
+
+// Validate checks structural invariants of the definition.
+func (op *ComputeOp) Validate() error {
+	if op.Out == nil {
+		return fmt.Errorf("te: op %s has no output tensor", op.Name)
+	}
+	if len(op.OutIndex) != len(op.Out.Shape) {
+		return fmt.Errorf("te: op %s output index rank %d vs tensor rank %d",
+			op.Name, len(op.OutIndex), len(op.Out.Shape))
+	}
+	for _, idx := range op.OutIndex {
+		for _, t := range idx.Terms {
+			if t.Axis.Kind != Spatial {
+				return fmt.Errorf("te: op %s output indexed by reduce axis %s", op.Name, t.Axis.Name)
+			}
+		}
+	}
+	if op.Epilogue != nil {
+		for _, acc := range Accesses(op.Epilogue) {
+			for _, idx := range acc.Index {
+				for _, t := range idx.Terms {
+					if t.Axis.Kind != Spatial {
+						return fmt.Errorf("te: op %s epilogue access %s uses reduce axis %s",
+							op.Name, acc.Tensor.Name, t.Axis.Name)
+					}
+				}
+			}
+		}
+	}
+	for _, a := range append(append([]*Axis{}, op.Spatial...), op.Reduce...) {
+		if a.Extent <= 0 {
+			return fmt.Errorf("te: op %s axis %s has non-positive extent %d", op.Name, a.Name, a.Extent)
+		}
+	}
+	return nil
+}
+
+// AllAxes returns spatial axes followed by reduce axes (ID order).
+func (op *ComputeOp) AllAxes() []*Axis {
+	out := make([]*Axis, 0, len(op.Spatial)+len(op.Reduce))
+	out = append(out, op.Spatial...)
+	out = append(out, op.Reduce...)
+	return out
+}
+
+// SpatialSize is the number of output points.
+func (op *ComputeOp) SpatialSize() int {
+	n := 1
+	for _, a := range op.Spatial {
+		n *= a.Extent
+	}
+	return n
+}
+
+// ReduceSize is the number of reduce-domain points per output point.
+func (op *ComputeOp) ReduceSize() int {
+	n := 1
+	for _, a := range op.Reduce {
+		n *= a.Extent
+	}
+	return n
+}
+
+// MACs returns the total multiply-accumulate count (spatial × reduce).
+func (op *ComputeOp) MACs() int64 {
+	return int64(op.SpatialSize()) * int64(op.ReduceSize())
+}
+
+// ReferenceEval computes the kernel naively into Out.Data (allocating it if
+// needed). It is the ground truth that every scheduled program must match.
+func (op *ComputeOp) ReferenceEval() {
+	op.Out.Alloc()
+	nAxes := len(op.Spatial) + len(op.Reduce)
+	vals := make([]int, nAxes)
+	outIdx := make([]int, len(op.OutIndex))
+
+	var spatialLoop func(d int)
+	spatialLoop = func(d int) {
+		if d == len(op.Spatial) {
+			acc := op.Init
+			var reduceLoop func(rd int)
+			reduceLoop = func(rd int) {
+				if rd == len(op.Reduce) {
+					acc = op.CombineValues(acc, EvalExpr(op.ReduceBody, vals, 0))
+					return
+				}
+				ax := op.Reduce[rd]
+				for v := 0; v < ax.Extent; v++ {
+					vals[ax.ID] = v
+					reduceLoop(rd + 1)
+				}
+			}
+			reduceLoop(0)
+			if op.Epilogue != nil {
+				acc = EvalExpr(op.Epilogue, vals, acc)
+			}
+			for i, a := range op.OutIndex {
+				outIdx[i] = a.Eval(vals)
+			}
+			op.Out.Data[op.Out.LinearIndex(outIdx)] = acc
+			return
+		}
+		ax := op.Spatial[d]
+		for v := 0; v < ax.Extent; v++ {
+			vals[ax.ID] = v
+			spatialLoop(d + 1)
+		}
+	}
+	spatialLoop(0)
+}
+
+// CombineValues folds one body value into the accumulator.
+func (op *ComputeOp) CombineValues(acc, v float32) float32 {
+	if op.Combine == CombineMax {
+		if v > acc {
+			return v
+		}
+		return acc
+	}
+	return acc + v
+}
+
+// PlaceTensors assigns base addresses to all inputs and the output in a fresh
+// address space and returns it (the lowering layer reserves stack/code
+// regions from the same space).
+func (op *ComputeOp) PlaceTensors() *tensor.AddressSpace {
+	as := tensor.NewAddressSpace()
+	for _, in := range op.Inputs {
+		as.Place(in)
+	}
+	as.Place(op.Out)
+	return as
+}

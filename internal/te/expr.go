@@ -1,0 +1,250 @@
+// Package te implements the tensor-expression layer of the reproduction: the
+// analogue of TVM's TE (compute + reduce definitions, Listing 1/5 of the
+// paper). A ComputeOp describes one kernel as spatial axes, reduce axes, a
+// reduce body that is sum-accumulated, and an optional epilogue applied to
+// the accumulator (which is how Conv2D+Bias+ReLU is expressed as a single
+// fused kernel, matching the paper's kernel type).
+package te
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// AxisKind distinguishes spatial (output) axes from reduction axes.
+type AxisKind int
+
+const (
+	// Spatial axes enumerate output coordinates.
+	Spatial AxisKind = iota
+	// Reduce axes are sum-accumulated.
+	Reduce
+)
+
+func (k AxisKind) String() string {
+	if k == Reduce {
+		return "reduce"
+	}
+	return "spatial"
+}
+
+// Axis is one iteration axis of a compute definition. ID indexes the axis in
+// evaluation contexts; it is assigned by NewComputeOp (spatial axes first,
+// then reduce axes).
+type Axis struct {
+	Name   string
+	Extent int
+	Kind   AxisKind
+	ID     int
+}
+
+func (a *Axis) String() string { return fmt.Sprintf("%s[%d]", a.Name, a.Extent) }
+
+// Term is one axis contribution coef·axis inside an affine index expression.
+type Term struct {
+	Axis *Axis
+	Coef int
+}
+
+// Affine is an affine index expression Σ coef·axis + Const, the only index
+// form the DSL supports (sufficient for matmul, conv, pooling, dense — conv
+// input indexing is oh·stride − pad + kh).
+type Affine struct {
+	Terms []Term
+	Const int
+}
+
+// AxisIdx is the affine expression consisting of a single axis.
+func AxisIdx(a *Axis) Affine { return Affine{Terms: []Term{{Axis: a, Coef: 1}}} }
+
+// ScaledIdx returns coef·a + c.
+func ScaledIdx(a *Axis, coef, c int) Affine {
+	return Affine{Terms: []Term{{Axis: a, Coef: coef}}, Const: c}
+}
+
+// ConstIdx is a constant index expression.
+func ConstIdx(c int) Affine { return Affine{Const: c} }
+
+// AddIdx returns the sum of two affine expressions.
+func AddIdx(a, b Affine) Affine {
+	out := Affine{Const: a.Const + b.Const}
+	out.Terms = append(out.Terms, a.Terms...)
+	out.Terms = append(out.Terms, b.Terms...)
+	return out
+}
+
+// Eval computes the index value under the axis-value binding vals[axis.ID].
+func (a Affine) Eval(vals []int) int {
+	v := a.Const
+	for _, t := range a.Terms {
+		v += t.Coef * vals[t.Axis.ID]
+	}
+	return v
+}
+
+// DependsOn reports whether the expression references the given axis with a
+// non-zero coefficient.
+func (a Affine) DependsOn(ax *Axis) bool {
+	for _, t := range a.Terms {
+		if t.Axis == ax && t.Coef != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Coef returns the coefficient of ax (0 if absent).
+func (a Affine) Coef(ax *Axis) int {
+	c := 0
+	for _, t := range a.Terms {
+		if t.Axis == ax {
+			c += t.Coef
+		}
+	}
+	return c
+}
+
+// BinOpKind enumerates the scalar operators of the expression language.
+type BinOpKind int
+
+// Scalar operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMax
+	OpMin
+)
+
+func (o BinOpKind) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return "?"
+}
+
+// Expr is a scalar expression tree node.
+type Expr interface{ exprNode() }
+
+// Access reads one element of an input tensor at affine indices.
+// Out-of-bounds reads evaluate to 0 (virtual padding): the lowered code emits
+// a guard instead of a load, mirroring TVM's boundary handling.
+type Access struct {
+	Tensor *tensor.Tensor
+	Index  []Affine
+}
+
+// ConstF is a float constant.
+type ConstF struct{ Val float32 }
+
+// AccRef references the running accumulator inside an epilogue expression.
+type AccRef struct{}
+
+// Bin is a binary operator node.
+type Bin struct {
+	Op   BinOpKind
+	A, B Expr
+}
+
+func (*Access) exprNode() {}
+func (ConstF) exprNode()  {}
+func (AccRef) exprNode()  {}
+func (*Bin) exprNode()    {}
+
+// Convenience constructors.
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return &Bin{Op: OpAdd, A: a, B: b} }
+
+// Mul returns a*b.
+func Mul(a, b Expr) Expr { return &Bin{Op: OpMul, A: a, B: b} }
+
+// Max returns max(a,b).
+func Max(a, b Expr) Expr { return &Bin{Op: OpMax, A: a, B: b} }
+
+// EvalExpr evaluates e under axis bindings vals with accumulator value acc.
+func EvalExpr(e Expr, vals []int, acc float32) float32 {
+	switch n := e.(type) {
+	case *Access:
+		idx := make([]int, len(n.Index))
+		for i, a := range n.Index {
+			idx[i] = a.Eval(vals)
+		}
+		if !n.Tensor.InBounds(idx) {
+			return 0
+		}
+		if n.Tensor.Data == nil {
+			return 0
+		}
+		return n.Tensor.Data[n.Tensor.LinearIndex(idx)]
+	case ConstF:
+		return n.Val
+	case AccRef:
+		return acc
+	case *Bin:
+		a := EvalExpr(n.A, vals, acc)
+		b := EvalExpr(n.B, vals, acc)
+		switch n.Op {
+		case OpAdd:
+			return a + b
+		case OpSub:
+			return a - b
+		case OpMul:
+			return a * b
+		case OpDiv:
+			return a / b
+		case OpMax:
+			if a > b {
+				return a
+			}
+			return b
+		case OpMin:
+			if a < b {
+				return a
+			}
+			return b
+		}
+	}
+	panic(fmt.Sprintf("te: unknown expr node %T", e))
+}
+
+// Accesses collects every tensor Access in an expression tree, in evaluation
+// order.
+func Accesses(e Expr) []*Access {
+	var out []*Access
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *Access:
+			out = append(out, n)
+		case *Bin:
+			walk(n.A)
+			walk(n.B)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CountFLOPs returns the number of arithmetic ops in one evaluation of e.
+func CountFLOPs(e Expr) int {
+	switch n := e.(type) {
+	case *Bin:
+		return 1 + CountFLOPs(n.A) + CountFLOPs(n.B)
+	default:
+		return 0
+	}
+}

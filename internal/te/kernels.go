@@ -1,0 +1,174 @@
+package te
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Workload is one kernel instance: a kernel type plus a fixed combination of
+// shapes and parameters. In the paper's terminology a Workload is a "group"
+// of one kernel type; the autotuner generates many implementations
+// (schedules) of it.
+type Workload struct {
+	// Kernel is the kernel-type name (one predictor is trained per kernel
+	// type and architecture, §III-C).
+	Kernel string
+	// Key uniquely identifies kernel type + parameters.
+	Key string
+	// Params records the raw shape parameters for serialization.
+	Params []int
+	// Op is the compute definition.
+	Op *ComputeOp
+}
+
+// ConvParams are the Conv2D+Bias+ReLU shape parameters, matching Table II.
+type ConvParams struct {
+	N, H, W, CO, CI, KH, KW int
+	StrideH, StrideW        int
+	PadH, PadW              int
+}
+
+// OutH returns the output height.
+func (p ConvParams) OutH() int { return (p.H+2*p.PadH-p.KH)/p.StrideH + 1 }
+
+// OutW returns the output width.
+func (p ConvParams) OutW() int { return (p.W+2*p.PadW-p.KW)/p.StrideW + 1 }
+
+// Conv2dBiasRelu builds the fused Conv2D+Bias+ReLU kernel of Listing 5:
+// ofm[n,co,oh,ow] = relu(bias[co] + Σ_{ci,kh,kw} ifm[n,ci,oh·s−p+kh,ow·s−p+kw] · w[co,ci,kh,kw]).
+// Layout is NCHW with OIHW weights, as in the paper's TVM definition.
+func Conv2dBiasRelu(p ConvParams) *Workload {
+	oh, ow := p.OutH(), p.OutW()
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("te: conv2d output is empty for %+v", p))
+	}
+	ifm := tensor.New("ifm", tensor.Shape{p.N, p.CI, p.H, p.W})
+	wgt := tensor.New("weights", tensor.Shape{p.CO, p.CI, p.KH, p.KW})
+	bias := tensor.New("bias", tensor.Shape{p.CO})
+	ofm := tensor.New("ofm", tensor.Shape{p.N, p.CO, oh, ow})
+
+	n := &Axis{Name: "n", Extent: p.N}
+	co := &Axis{Name: "co", Extent: p.CO}
+	ohA := &Axis{Name: "oh", Extent: oh}
+	owA := &Axis{Name: "ow", Extent: ow}
+	ci := &Axis{Name: "ci", Extent: p.CI}
+	kh := &Axis{Name: "kh", Extent: p.KH}
+	kw := &Axis{Name: "kw", Extent: p.KW}
+
+	body := Mul(
+		&Access{Tensor: ifm, Index: []Affine{
+			AxisIdx(n),
+			AxisIdx(ci),
+			AddIdx(ScaledIdx(ohA, p.StrideH, -p.PadH), AxisIdx(kh)),
+			AddIdx(ScaledIdx(owA, p.StrideW, -p.PadW), AxisIdx(kw)),
+		}},
+		&Access{Tensor: wgt, Index: []Affine{
+			AxisIdx(co), AxisIdx(ci), AxisIdx(kh), AxisIdx(kw),
+		}},
+	)
+	epilogue := Max(
+		Add(AccRef{}, &Access{Tensor: bias, Index: []Affine{AxisIdx(co)}}),
+		ConstF{Val: 0},
+	)
+	op := NewComputeOp("conv2d_bias_relu", ofm,
+		[]*Axis{n, co, ohA, owA}, []*Axis{ci, kh, kw},
+		[]Affine{AxisIdx(n), AxisIdx(co), AxisIdx(ohA), AxisIdx(owA)},
+		0, body, epilogue,
+		[]*tensor.Tensor{ifm, wgt, bias})
+	return &Workload{
+		Kernel: "conv2d_bias_relu",
+		Key: fmt.Sprintf("conv2d_bias_relu_n%d_h%d_w%d_co%d_ci%d_k%dx%d_s%d%d_p%d%d",
+			p.N, p.H, p.W, p.CO, p.CI, p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW),
+		Params: []int{p.N, p.H, p.W, p.CO, p.CI, p.KH, p.KW, p.StrideH, p.StrideW, p.PadH, p.PadW},
+		Op:     op,
+	}
+}
+
+// MatMul builds C[i,j] = Σ_k A[i,k]·B[k,j] (the Listing 1 MMM kernel).
+func MatMul(n, l, m int) *Workload {
+	a := tensor.New("A", tensor.Shape{n, l})
+	b := tensor.New("B", tensor.Shape{l, m})
+	c := tensor.New("C", tensor.Shape{n, m})
+	i := &Axis{Name: "i", Extent: n}
+	j := &Axis{Name: "j", Extent: m}
+	k := &Axis{Name: "k", Extent: l}
+	body := Mul(
+		&Access{Tensor: a, Index: []Affine{AxisIdx(i), AxisIdx(k)}},
+		&Access{Tensor: b, Index: []Affine{AxisIdx(k), AxisIdx(j)}},
+	)
+	op := NewComputeOp("matmul", c,
+		[]*Axis{i, j}, []*Axis{k},
+		[]Affine{AxisIdx(i), AxisIdx(j)},
+		0, body, nil,
+		[]*tensor.Tensor{a, b})
+	return &Workload{
+		Kernel: "matmul",
+		Key:    fmt.Sprintf("matmul_n%d_l%d_m%d", n, l, m),
+		Params: []int{n, l, m},
+		Op:     op,
+	}
+}
+
+// DepthwiseConv2d builds a depthwise convolution with per-channel filters:
+// ofm[n,c,oh,ow] = Σ_{kh,kw} ifm[n,c,oh·s−p+kh,ow·s−p+kw] · w[c,kh,kw].
+func DepthwiseConv2d(n, h, w, c, kh, kw, stride, pad int) *Workload {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	ifm := tensor.New("ifm", tensor.Shape{n, c, h, w})
+	wgt := tensor.New("weights", tensor.Shape{c, kh, kw})
+	ofm := tensor.New("ofm", tensor.Shape{n, c, oh, ow})
+	nA := &Axis{Name: "n", Extent: n}
+	cA := &Axis{Name: "c", Extent: c}
+	ohA := &Axis{Name: "oh", Extent: oh}
+	owA := &Axis{Name: "ow", Extent: ow}
+	khA := &Axis{Name: "kh", Extent: kh}
+	kwA := &Axis{Name: "kw", Extent: kw}
+	body := Mul(
+		&Access{Tensor: ifm, Index: []Affine{
+			AxisIdx(nA), AxisIdx(cA),
+			AddIdx(ScaledIdx(ohA, stride, -pad), AxisIdx(khA)),
+			AddIdx(ScaledIdx(owA, stride, -pad), AxisIdx(kwA)),
+		}},
+		&Access{Tensor: wgt, Index: []Affine{AxisIdx(cA), AxisIdx(khA), AxisIdx(kwA)}},
+	)
+	op := NewComputeOp("depthwise_conv2d", ofm,
+		[]*Axis{nA, cA, ohA, owA}, []*Axis{khA, kwA},
+		[]Affine{AxisIdx(nA), AxisIdx(cA), AxisIdx(ohA), AxisIdx(owA)},
+		0, body, nil,
+		[]*tensor.Tensor{ifm, wgt})
+	return &Workload{
+		Kernel: "depthwise_conv2d",
+		Key:    fmt.Sprintf("depthwise_n%d_h%d_w%d_c%d_k%dx%d_s%d_p%d", n, h, w, c, kh, kw, stride, pad),
+		Params: []int{n, h, w, c, kh, kw, stride, pad},
+		Op:     op,
+	}
+}
+
+// DenseBiasRelu builds Y[b,o] = relu(bias[o] + Σ_i X[b,i]·W[o,i]),
+// the fully-connected layer kernel.
+func DenseBiasRelu(batch, in, out int) *Workload {
+	x := tensor.New("X", tensor.Shape{batch, in})
+	w := tensor.New("W", tensor.Shape{out, in})
+	bias := tensor.New("bias", tensor.Shape{out})
+	y := tensor.New("Y", tensor.Shape{batch, out})
+	b := &Axis{Name: "b", Extent: batch}
+	o := &Axis{Name: "o", Extent: out}
+	i := &Axis{Name: "i", Extent: in}
+	body := Mul(
+		&Access{Tensor: x, Index: []Affine{AxisIdx(b), AxisIdx(i)}},
+		&Access{Tensor: w, Index: []Affine{AxisIdx(o), AxisIdx(i)}},
+	)
+	epi := Max(Add(AccRef{}, &Access{Tensor: bias, Index: []Affine{AxisIdx(o)}}), ConstF{Val: 0})
+	op := NewComputeOp("dense_bias_relu", y,
+		[]*Axis{b, o}, []*Axis{i},
+		[]Affine{AxisIdx(b), AxisIdx(o)},
+		0, body, epi,
+		[]*tensor.Tensor{x, w, bias})
+	return &Workload{
+		Kernel: "dense_bias_relu",
+		Key:    fmt.Sprintf("dense_b%d_i%d_o%d", batch, in, out),
+		Params: []int{batch, in, out},
+		Op:     op,
+	}
+}

@@ -1,0 +1,89 @@
+package te
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Relu builds the elementwise kernel Y[i] = max(X[i], 0) over a flattened
+// buffer — the simplest kernel with no reduction axes, exercising the
+// direct-store lowering path.
+func Relu(n int) *Workload {
+	x := tensor.New("X", tensor.Shape{n})
+	y := tensor.New("Y", tensor.Shape{n})
+	i := &Axis{Name: "i", Extent: n}
+	// No reduce axes: the "reduce body" is evaluated exactly once per point.
+	body := Max(&Access{Tensor: x, Index: []Affine{AxisIdx(i)}}, ConstF{Val: 0})
+	op := NewComputeOp("relu", y,
+		[]*Axis{i}, nil,
+		[]Affine{AxisIdx(i)},
+		0, body, nil,
+		[]*tensor.Tensor{x})
+	return &Workload{
+		Kernel: "relu",
+		Key:    fmt.Sprintf("relu_n%d", n),
+		Params: []int{n},
+		Op:     op,
+	}
+}
+
+// AddTensors builds the elementwise kernel C[i] = A[i] + B[i].
+func AddTensors(n int) *Workload {
+	a := tensor.New("A", tensor.Shape{n})
+	b := tensor.New("B", tensor.Shape{n})
+	c := tensor.New("C", tensor.Shape{n})
+	i := &Axis{Name: "i", Extent: n}
+	body := Add(
+		&Access{Tensor: a, Index: []Affine{AxisIdx(i)}},
+		&Access{Tensor: b, Index: []Affine{AxisIdx(i)}},
+	)
+	op := NewComputeOp("add", c,
+		[]*Axis{i}, nil,
+		[]Affine{AxisIdx(i)},
+		0, body, nil,
+		[]*tensor.Tensor{a, b})
+	return &Workload{
+		Kernel: "add",
+		Key:    fmt.Sprintf("add_n%d", n),
+		Params: []int{n},
+		Op:     op,
+	}
+}
+
+// MaxPool2d builds max pooling over NCHW input with a k×k window:
+// ofm[n,c,oh,ow] = max_{kh,kw} ifm[n,c,oh·s+kh,ow·s+kw].
+// The reduction folds with CombineMax instead of the default sum and starts
+// from the most negative float32.
+func MaxPool2d(n, c, h, w, k, stride int) *Workload {
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	ifm := tensor.New("ifm", tensor.Shape{n, c, h, w})
+	ofm := tensor.New("ofm", tensor.Shape{n, c, oh, ow})
+	nA := &Axis{Name: "n", Extent: n}
+	cA := &Axis{Name: "c", Extent: c}
+	ohA := &Axis{Name: "oh", Extent: oh}
+	owA := &Axis{Name: "ow", Extent: ow}
+	khA := &Axis{Name: "kh", Extent: k}
+	kwA := &Axis{Name: "kw", Extent: k}
+	body := &Access{Tensor: ifm, Index: []Affine{
+		AxisIdx(nA), AxisIdx(cA),
+		AddIdx(ScaledIdx(ohA, stride, 0), AxisIdx(khA)),
+		AddIdx(ScaledIdx(owA, stride, 0), AxisIdx(kwA)),
+	}}
+	op := NewComputeOp("maxpool2d", ofm,
+		[]*Axis{nA, cA, ohA, owA}, []*Axis{khA, kwA},
+		[]Affine{AxisIdx(nA), AxisIdx(cA), AxisIdx(ohA), AxisIdx(owA)},
+		negInf, body, nil,
+		[]*tensor.Tensor{ifm})
+	op.Combine = CombineMax
+	return &Workload{
+		Kernel: "maxpool2d",
+		Key:    fmt.Sprintf("maxpool_n%d_c%d_h%d_w%d_k%d_s%d", n, c, h, w, k, stride),
+		Params: []int{n, c, h, w, k, stride},
+		Op:     op,
+	}
+}
+
+// negInf is the max-reduction identity.
+const negInf = float32(-3.4e38)

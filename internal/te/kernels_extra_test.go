@@ -1,0 +1,81 @@
+package te
+
+import "testing"
+
+func TestReluReference(t *testing.T) {
+	wl := Relu(6)
+	x := wl.Op.Inputs[0]
+	x.Alloc()
+	copy(x.Data, []float32{-3, -1, 0, 1, 2, -5})
+	wl.Op.ReferenceEval()
+	want := []float32{0, 0, 0, 1, 2, 0}
+	for i, v := range want {
+		if wl.Op.Out.Data[i] != v {
+			t.Fatalf("relu[%d] = %v want %v", i, wl.Op.Out.Data[i], v)
+		}
+	}
+	if len(wl.Op.Reduce) != 0 {
+		t.Fatal("relu must have no reduce axes")
+	}
+}
+
+func TestAddTensorsReference(t *testing.T) {
+	wl := AddTensors(3)
+	a, b := wl.Op.Inputs[0], wl.Op.Inputs[1]
+	a.Alloc()
+	b.Alloc()
+	copy(a.Data, []float32{1, 2, 3})
+	copy(b.Data, []float32{10, 20, 30})
+	wl.Op.ReferenceEval()
+	for i, want := range []float32{11, 22, 33} {
+		if wl.Op.Out.Data[i] != want {
+			t.Fatalf("add[%d] = %v", i, wl.Op.Out.Data[i])
+		}
+	}
+}
+
+func TestMaxPoolReference(t *testing.T) {
+	wl := MaxPool2d(1, 1, 4, 4, 2, 2)
+	ifm := wl.Op.Inputs[0]
+	ifm.Alloc()
+	copy(ifm.Data, []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		-1, -2, -3, -4,
+		-5, -6, -7, -8,
+	})
+	wl.Op.ReferenceEval()
+	want := []float32{6, 8, -1, -3}
+	for i, v := range want {
+		if wl.Op.Out.Data[i] != v {
+			t.Fatalf("pool[%d] = %v want %v", i, wl.Op.Out.Data[i], v)
+		}
+	}
+	if wl.Op.Combine != CombineMax {
+		t.Fatal("pooling must combine with max")
+	}
+}
+
+func TestMaxPoolNegativeInputs(t *testing.T) {
+	// All-negative windows must still return the window max (Init is the
+	// most negative float, not zero).
+	wl := MaxPool2d(1, 1, 2, 2, 2, 2)
+	ifm := wl.Op.Inputs[0]
+	ifm.Alloc()
+	copy(ifm.Data, []float32{-7, -9, -8, -6})
+	wl.Op.ReferenceEval()
+	if wl.Op.Out.Data[0] != -6 {
+		t.Fatalf("pool = %v want -6", wl.Op.Out.Data[0])
+	}
+}
+
+func TestCombineValues(t *testing.T) {
+	sum := &ComputeOp{Combine: CombineSum}
+	if sum.CombineValues(2, 3) != 5 {
+		t.Fatal("sum combine wrong")
+	}
+	max := &ComputeOp{Combine: CombineMax}
+	if max.CombineValues(2, 3) != 3 || max.CombineValues(4, 3) != 4 {
+		t.Fatal("max combine wrong")
+	}
+}

@@ -1,0 +1,323 @@
+package te
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAffineEval(t *testing.T) {
+	a := &Axis{Name: "a", Extent: 10, ID: 0}
+	b := &Axis{Name: "b", Extent: 10, ID: 1}
+	e := AddIdx(ScaledIdx(a, 2, -1), AxisIdx(b)) // 2a - 1 + b
+	if got := e.Eval([]int{3, 4}); got != 9 {
+		t.Fatalf("affine eval = %d want 9", got)
+	}
+	if !e.DependsOn(a) || !e.DependsOn(b) {
+		t.Fatal("DependsOn false negative")
+	}
+	c := &Axis{Name: "c", ID: 2}
+	if e.DependsOn(c) {
+		t.Fatal("DependsOn false positive")
+	}
+	if e.Coef(a) != 2 || e.Coef(b) != 1 || e.Coef(c) != 0 {
+		t.Fatal("Coef wrong")
+	}
+}
+
+func TestConstIdx(t *testing.T) {
+	if ConstIdx(5).Eval(nil) != 5 {
+		t.Fatal("const idx wrong")
+	}
+}
+
+func TestEvalExprOps(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want float32
+	}{
+		{Add(ConstF{2}, ConstF{3}), 5},
+		{&Bin{Op: OpSub, A: ConstF{2}, B: ConstF{3}}, -1},
+		{Mul(ConstF{2}, ConstF{3}), 6},
+		{&Bin{Op: OpDiv, A: ConstF{6}, B: ConstF{3}}, 2},
+		{Max(ConstF{-2}, ConstF{3}), 3},
+		{&Bin{Op: OpMin, A: ConstF{-2}, B: ConstF{3}}, -2},
+	}
+	for i, c := range cases {
+		if got := EvalExpr(c.e, nil, 0); got != c.want {
+			t.Fatalf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEvalExprAccOutOfBounds(t *testing.T) {
+	tt := tensor.New("x", tensor.Shape{2}).Alloc()
+	tt.Data[1] = 7
+	ax := &Axis{Name: "i", Extent: 4, ID: 0}
+	acc := &Access{Tensor: tt, Index: []Affine{AxisIdx(ax)}}
+	if EvalExpr(acc, []int{1}, 0) != 7 {
+		t.Fatal("in-bounds access wrong")
+	}
+	if EvalExpr(acc, []int{3}, 0) != 0 {
+		t.Fatal("out-of-bounds access must read 0 (virtual padding)")
+	}
+	if EvalExpr(AccRef{}, nil, 42) != 42 {
+		t.Fatal("AccRef must return accumulator")
+	}
+}
+
+func TestAccessesAndFLOPs(t *testing.T) {
+	tt := tensor.New("x", tensor.Shape{2})
+	ax := &Axis{Name: "i", ID: 0}
+	e := Add(Mul(&Access{Tensor: tt, Index: []Affine{AxisIdx(ax)}}, ConstF{2}),
+		&Access{Tensor: tt, Index: []Affine{AxisIdx(ax)}})
+	if len(Accesses(e)) != 2 {
+		t.Fatalf("accesses = %d", len(Accesses(e)))
+	}
+	if CountFLOPs(e) != 2 {
+		t.Fatalf("flops = %d", CountFLOPs(e))
+	}
+}
+
+func fillSeq(tt *tensor.Tensor) {
+	tt.Alloc()
+	for i := range tt.Data {
+		tt.Data[i] = float32(i%7) - 3
+	}
+}
+
+func TestMatMulReference(t *testing.T) {
+	wl := MatMul(2, 3, 2)
+	a, b := wl.Op.Inputs[0], wl.Op.Inputs[1]
+	a.Alloc()
+	b.Alloc()
+	// A = [[1,2,3],[4,5,6]], B = [[1,0],[0,1],[1,1]]
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float32{1, 0, 0, 1, 1, 1})
+	wl.Op.ReferenceEval()
+	want := []float32{4, 5, 10, 11}
+	for i, w := range want {
+		if wl.Op.Out.Data[i] != w {
+			t.Fatalf("C[%d] = %v want %v", i, wl.Op.Out.Data[i], w)
+		}
+	}
+}
+
+func TestConvReferenceIdentityKernel(t *testing.T) {
+	// 1x1 kernel, unit weight, zero bias: output == relu(input).
+	wl := Conv2dBiasRelu(ConvParams{N: 1, H: 3, W: 3, CO: 1, CI: 1, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1, PadH: 0, PadW: 0})
+	ifm, wgt, bias := wl.Op.Inputs[0], wl.Op.Inputs[1], wl.Op.Inputs[2]
+	ifm.Alloc()
+	wgt.Alloc()
+	bias.Alloc()
+	copy(ifm.Data, []float32{-1, 2, -3, 4, -5, 6, -7, 8, -9})
+	wgt.Data[0] = 1
+	wl.Op.ReferenceEval()
+	want := []float32{0, 2, 0, 4, 0, 6, 0, 8, 0} // relu
+	for i, w := range want {
+		if wl.Op.Out.Data[i] != w {
+			t.Fatalf("ofm[%d] = %v want %v", i, wl.Op.Out.Data[i], w)
+		}
+	}
+}
+
+func TestConvReferencePaddingSum(t *testing.T) {
+	// 3x3 all-ones kernel on all-ones 3x3 input with pad 1: center output
+	// sums 9 elements, corners sum 4.
+	wl := Conv2dBiasRelu(ConvParams{N: 1, H: 3, W: 3, CO: 1, CI: 1, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+	ifm, wgt, bias := wl.Op.Inputs[0], wl.Op.Inputs[1], wl.Op.Inputs[2]
+	ifm.Alloc()
+	wgt.Alloc()
+	bias.Alloc()
+	for i := range ifm.Data {
+		ifm.Data[i] = 1
+	}
+	for i := range wgt.Data {
+		wgt.Data[i] = 1
+	}
+	wl.Op.ReferenceEval()
+	out := wl.Op.Out.Data
+	if out[4] != 9 { // center
+		t.Fatalf("center = %v want 9", out[4])
+	}
+	if out[0] != 4 || out[2] != 4 || out[6] != 4 || out[8] != 4 {
+		t.Fatalf("corners = %v,%v,%v,%v want 4", out[0], out[2], out[6], out[8])
+	}
+	if out[1] != 6 {
+		t.Fatalf("edge = %v want 6", out[1])
+	}
+}
+
+func TestConvBiasApplied(t *testing.T) {
+	wl := Conv2dBiasRelu(ConvParams{N: 1, H: 2, W: 2, CO: 2, CI: 1, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1})
+	ifm, wgt, bias := wl.Op.Inputs[0], wl.Op.Inputs[1], wl.Op.Inputs[2]
+	fillSeq(ifm)
+	wgt.Alloc()
+	wgt.Data[0], wgt.Data[1] = 1, 1
+	bias.Alloc()
+	bias.Data[0], bias.Data[1] = 100, 200
+	wl.Op.ReferenceEval()
+	// channel 0 uses bias 100, channel 1 uses bias 200
+	if wl.Op.Out.Data[0] != ifm.Data[0]+100 {
+		t.Fatalf("bias[0] not applied: %v", wl.Op.Out.Data[0])
+	}
+	if wl.Op.Out.Data[4] != ifm.Data[0]+200 {
+		t.Fatalf("bias[1] not applied: %v", wl.Op.Out.Data[4])
+	}
+}
+
+func TestDepthwiseReference(t *testing.T) {
+	wl := DepthwiseConv2d(1, 3, 3, 2, 3, 3, 1, 1)
+	ifm, wgt := wl.Op.Inputs[0], wl.Op.Inputs[1]
+	ifm.Alloc()
+	wgt.Alloc()
+	for i := range ifm.Data {
+		ifm.Data[i] = 1
+	}
+	for i := range wgt.Data {
+		wgt.Data[i] = 1
+	}
+	wl.Op.ReferenceEval()
+	// center of each channel = 9
+	ohw := 9
+	if wl.Op.Out.Data[4] != 9 || wl.Op.Out.Data[ohw+4] != 9 {
+		t.Fatalf("depthwise centers = %v, %v", wl.Op.Out.Data[4], wl.Op.Out.Data[ohw+4])
+	}
+}
+
+func TestDenseReference(t *testing.T) {
+	wl := DenseBiasRelu(1, 3, 2)
+	x, w, b := wl.Op.Inputs[0], wl.Op.Inputs[1], wl.Op.Inputs[2]
+	x.Alloc()
+	w.Alloc()
+	b.Alloc()
+	copy(x.Data, []float32{1, 2, 3})
+	copy(w.Data, []float32{1, 1, 1, -1, -1, -1})
+	copy(b.Data, []float32{0, 1})
+	wl.Op.ReferenceEval()
+	if wl.Op.Out.Data[0] != 6 {
+		t.Fatalf("dense[0] = %v want 6", wl.Op.Out.Data[0])
+	}
+	if wl.Op.Out.Data[1] != 0 { // relu(-6+1) = 0
+		t.Fatalf("dense[1] = %v want 0 (relu)", wl.Op.Out.Data[1])
+	}
+}
+
+func TestComputeOpCounts(t *testing.T) {
+	wl := Conv2dBiasRelu(ConvParams{N: 1, H: 4, W: 4, CO: 2, CI: 3, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1})
+	op := wl.Op
+	if op.SpatialSize() != 1*2*4*4 {
+		t.Fatalf("spatial size = %d", op.SpatialSize())
+	}
+	if op.ReduceSize() != 27 {
+		t.Fatalf("reduce size = %d", op.ReduceSize())
+	}
+	if op.MACs() != int64(32*27) {
+		t.Fatalf("MACs = %d", op.MACs())
+	}
+}
+
+func TestAxisIDsAssigned(t *testing.T) {
+	wl := MatMul(2, 3, 4)
+	ids := map[int]bool{}
+	for _, a := range wl.Op.AllAxes() {
+		if ids[a.ID] {
+			t.Fatalf("duplicate axis ID %d", a.ID)
+		}
+		ids[a.ID] = true
+	}
+	if len(ids) != 3 {
+		t.Fatalf("axis count = %d", len(ids))
+	}
+	if wl.Op.Reduce[0].Kind != Reduce || wl.Op.Spatial[0].Kind != Spatial {
+		t.Fatal("axis kinds not assigned")
+	}
+}
+
+func TestConvOutputShape(t *testing.T) {
+	p := ConvParams{N: 1, H: 224, W: 224, CO: 64, CI: 3, KH: 7, KW: 7,
+		StrideH: 2, StrideW: 2, PadH: 3, PadW: 3}
+	if p.OutH() != 112 || p.OutW() != 112 {
+		t.Fatalf("resnet stem out = %dx%d want 112x112", p.OutH(), p.OutW())
+	}
+}
+
+func TestConvGroupScales(t *testing.T) {
+	for _, scale := range []Scale{ScaleTiny, ScaleSmall, ScalePaper} {
+		params := ConvGroupParams(scale)
+		if len(params) != NumConvGroups {
+			t.Fatalf("%s: %d groups", scale, len(params))
+		}
+		for g := range params {
+			wl := ConvGroup(scale, g)
+			if wl.Op.MACs() <= 0 {
+				t.Fatalf("%s group %d has no work", scale, g)
+			}
+		}
+	}
+	// paper group 0 must be the exact ResNet stem
+	p := ConvGroupParams(ScalePaper)[0]
+	if p.H != 224 || p.CO != 64 || p.KH != 7 {
+		t.Fatalf("paper group 0 = %+v", p)
+	}
+	// group 4 keeps the paper's W=24
+	if ConvGroupParams(ScalePaper)[4].W != 24 {
+		t.Fatal("paper group 4 must keep W=24")
+	}
+}
+
+func TestConvGroupFreshTensors(t *testing.T) {
+	a := ConvGroup(ScaleTiny, 0)
+	b := ConvGroup(ScaleTiny, 0)
+	if a.Op.Out == b.Op.Out || a.Op.Inputs[0] == b.Op.Inputs[0] {
+		t.Fatal("ConvGroup must return fresh tensors per call")
+	}
+	if a.Key != b.Key {
+		t.Fatal("same group must share one key")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("small"); err != nil || s != ScaleSmall {
+		t.Fatalf("ParseScale small: %v %v", s, err)
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("ParseScale must reject unknown scale")
+	}
+}
+
+func TestValidateRejectsReduceEpilogue(t *testing.T) {
+	out := tensor.New("o", tensor.Shape{2})
+	in := tensor.New("i", tensor.Shape{2})
+	s := &Axis{Name: "s", Extent: 2}
+	r := &Axis{Name: "r", Extent: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: epilogue referencing reduce axis")
+		}
+	}()
+	NewComputeOp("bad", out, []*Axis{s}, []*Axis{r},
+		[]Affine{AxisIdx(s)}, 0,
+		&Access{Tensor: in, Index: []Affine{AxisIdx(r)}},
+		&Access{Tensor: in, Index: []Affine{AxisIdx(r)}}, // epilogue uses reduce axis
+		[]*tensor.Tensor{in})
+}
+
+func TestPlaceTensors(t *testing.T) {
+	wl := MatMul(4, 4, 4)
+	wl.Op.PlaceTensors()
+	seen := map[uint64]bool{}
+	for _, tt := range append(wl.Op.Inputs, wl.Op.Out) {
+		if tt.Base == 0 {
+			t.Fatalf("tensor %s unplaced", tt.Name)
+		}
+		if seen[tt.Base] {
+			t.Fatalf("base collision at %d", tt.Base)
+		}
+		seen[tt.Base] = true
+	}
+}

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeSize(t *testing.T) {
+	if (Shape{2, 3, 4}).Size() != 24 {
+		t.Fatal("size wrong")
+	}
+	if (Shape{}).Size() != 1 {
+		t.Fatal("rank-0 size must be 1")
+	}
+	if (Shape{5, 0}).Size() != 0 {
+		t.Fatal("zero dim size must be 0")
+	}
+}
+
+func TestShapeStrides(t *testing.T) {
+	st := (Shape{2, 3, 4}).Strides()
+	if st[0] != 12 || st[1] != 4 || st[2] != 1 {
+		t.Fatalf("strides = %v", st)
+	}
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	a := Shape{1, 2}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if a.Equal(Shape{1}) || a.Equal(Shape{1, 3}) {
+		t.Fatal("equal false positives")
+	}
+}
+
+func TestLinearIndexMatchesStrides(t *testing.T) {
+	tt := New("x", Shape{2, 3, 4})
+	if tt.LinearIndex([]int{1, 2, 3}) != 1*12+2*4+3 {
+		t.Fatal("linear index wrong")
+	}
+	if tt.LinearIndex([]int{0, 0, 0}) != 0 {
+		t.Fatal("zero index wrong")
+	}
+}
+
+func TestLinearIndexRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x", Shape{2, 2}).LinearIndex([]int{1})
+}
+
+func TestInBounds(t *testing.T) {
+	tt := New("x", Shape{2, 3})
+	if !tt.InBounds([]int{1, 2}) {
+		t.Fatal("in-bounds reported out")
+	}
+	for _, idx := range [][]int{{-1, 0}, {2, 0}, {0, 3}, {0}} {
+		if tt.InBounds(idx) {
+			t.Fatalf("out-of-bounds %v reported in", idx)
+		}
+	}
+}
+
+func TestAllocIdempotent(t *testing.T) {
+	tt := New("x", Shape{4}).Alloc()
+	tt.Data[2] = 7
+	tt.Alloc()
+	if tt.Data[2] != 7 {
+		t.Fatal("re-Alloc must not clear data")
+	}
+	if len(tt.Data) != 4 {
+		t.Fatalf("data len = %d", len(tt.Data))
+	}
+}
+
+func TestAddressSpacePlacement(t *testing.T) {
+	as := NewAddressSpace()
+	a := New("a", Shape{100})
+	b := New("b", Shape{100})
+	as.Place(a)
+	as.Place(b)
+	if a.Base == 0 {
+		t.Fatal("base address 0 must be reserved")
+	}
+	if a.Base%PageAlign != 0 || b.Base%PageAlign != 0 {
+		t.Fatal("bases must be page aligned")
+	}
+	aEnd := a.Base + a.Bytes()
+	if b.Base < aEnd {
+		t.Fatalf("tensors overlap: a=[%d,%d) b starts %d", a.Base, aEnd, b.Base)
+	}
+}
+
+func TestAddressSpaceReserve(t *testing.T) {
+	as := NewAddressSpace()
+	r1 := as.Reserve(10)
+	r2 := as.Reserve(10)
+	if r2 <= r1 || r1%PageAlign != 0 {
+		t.Fatalf("reserve regions overlap or misaligned: %d %d", r1, r2)
+	}
+}
+
+func TestAddrOf(t *testing.T) {
+	tt := New("x", Shape{8})
+	tt.Base = 4096
+	if tt.AddrOf(3) != 4096+3*ElemSize {
+		t.Fatalf("addr = %d", tt.AddrOf(3))
+	}
+}
+
+// Property: LinearIndex is a bijection over the index space (no collisions).
+func TestLinearIndexBijectionProperty(t *testing.T) {
+	f := func(d1, d2 uint8) bool {
+		a := int(d1%5) + 1
+		b := int(d2%5) + 1
+		tt := New("x", Shape{a, b})
+		seen := map[int]bool{}
+		for i := 0; i < a; i++ {
+			for j := 0; j < b; j++ {
+				li := tt.LinearIndex([]int{i, j})
+				if li < 0 || li >= a*b || seen[li] {
+					return false
+				}
+				seen[li] = true
+			}
+		}
+		return len(seen) == a*b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package simtune
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func trainTiny(t *testing.T, pred string) *TrainedModel {
+	t.Helper()
+	model, err := TrainScorePredictor(TrainOptions{
+		Arch: RISCV, Scale: ScaleTiny, Predictor: pred,
+		Groups: []int{0, 1, 2}, ImplsPerGroup: 24, NParallel: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestTrainScorePredictorAndEvaluate(t *testing.T) {
+	model := trainTiny(t, "XGBoost")
+	if model.Pred.Name() != "XGBoost" {
+		t.Fatalf("predictor = %s", model.Pred.Name())
+	}
+	res, err := model.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Etop1) || res.Rtop1 <= 0 {
+		t.Fatalf("bad metrics: %+v", res)
+	}
+	if _, err := model.Evaluate(4); err == nil {
+		t.Fatal("group 4 was not trained; Evaluate must fail")
+	}
+	if _, err := model.EvaluateUnseen(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainRequiresArch(t *testing.T) {
+	if _, err := TrainScorePredictor(TrainOptions{}); err == nil {
+		t.Fatal("missing arch must error")
+	}
+}
+
+func TestTrainUnknownPredictor(t *testing.T) {
+	_, err := TrainScorePredictor(TrainOptions{Arch: X86, Scale: ScaleTiny,
+		Predictor: "forest", Groups: []int{0}, ImplsPerGroup: 8})
+	if err == nil {
+		t.Fatal("unknown predictor must error")
+	}
+}
+
+func TestTuneGroupAndValidate(t *testing.T) {
+	model := trainTiny(t, "LinReg")
+	records, err := model.TuneGroup(TuneGroupOptions{Group: 1, Trials: 12, BatchSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 12 {
+		t.Fatalf("records = %d", len(records))
+	}
+	top := TopK(records, 3)
+	if len(top) != 3 {
+		t.Fatalf("topk = %d", len(top))
+	}
+	best, idx, err := model.ValidateOnTarget(1, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0 || idx < 0 {
+		t.Fatalf("validate = %v, %d", best, idx)
+	}
+}
+
+func TestTuneGroupRequiresTrials(t *testing.T) {
+	model := trainTiny(t, "LinReg")
+	if _, err := model.TuneGroup(TuneGroupOptions{Group: 0}); err == nil {
+		t.Fatal("missing trials must error")
+	}
+}
+
+func TestFacadeReexports(t *testing.T) {
+	if len(Archs()) != 3 {
+		t.Fatal("archs")
+	}
+	if len(PredictorNames()) != 4 {
+		t.Fatal("predictors")
+	}
+	prof := HardwareProfile(X86)
+	if !prof.Caches.HasL3() {
+		t.Fatal("x86 profile must have L3")
+	}
+	wl := ConvGroupWorkload(ScaleTiny, 0)
+	if wl.Op.MACs() <= 0 {
+		t.Fatal("workload empty")
+	}
+}
+
+func TestSaveLoadPredictorFacade(t *testing.T) {
+	model := trainTiny(t, "XGBoost")
+	var buf bytes.Buffer
+	if err := SavePredictor(model.Pred, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]float64, 43)
+	for i := range probe {
+		probe[i] = 0.1 * float64(i%7)
+	}
+	if model.Pred.Predict(probe) != back.Predict(probe) {
+		t.Fatal("facade save/load changed predictions")
+	}
+}
