@@ -77,23 +77,36 @@ func (s Stats) Check() error {
 	return nil
 }
 
+// line is one cache way. The valid and dirty flags are packed into the top
+// bits of the tag word, keeping the struct at 16 bytes so a set scan
+// touches half the memory of a bool-padded layout; line addresses never
+// reach bit 62 (the virtual address space is tiny).
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-use stamp; larger = more recent
+	tag uint64 // lineAddr | lineValid | lineDirty (0 = invalid)
+	lru uint64 // last-use stamp; larger = more recent
 }
+
+const (
+	lineValid   = uint64(1) << 63
+	lineDirty   = uint64(1) << 62
+	lineTagMask = lineDirty - 1
+)
 
 // Cache is one level of a set-associative write-back/write-allocate cache.
 // A nil next level means misses are serviced by memory (counted by the
 // owning Hierarchy).
 type Cache struct {
-	cfg       Config
-	sets      [][]line
+	cfg Config
+	// lines is the flat way storage: set s occupies lines[s*assoc:(s+1)*assoc].
+	lines     []line
+	assoc     int
 	next      *Cache
 	stamp     uint64
 	lineShift uint
 	setMask   uint64
+	// mru holds the most-recently-used way per set; cache-friendly access
+	// streams hit it on the first probe, skipping the way scan.
+	mru []int32
 	// Stats for this level.
 	Stats Stats
 	// MemAccesses counts accesses this level forwarded to memory (only
@@ -106,13 +119,10 @@ func New(cfg Config, next *Cache) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg, next: next}
+	c := &Cache{cfg: cfg, next: next, assoc: cfg.Assoc}
 	sets := cfg.Sets()
-	c.sets = make([][]line, sets)
-	backing := make([]line, sets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
+	c.mru = make([]int32, sets)
+	c.lines = make([]line, sets*cfg.Assoc)
 	for shift := uint(0); ; shift++ {
 		if 1<<shift == cfg.LineBytes {
 			c.lineShift = shift
@@ -141,11 +151,16 @@ func (c *Cache) Config() Config { return c.cfg }
 // this level hit, 2 the next level, and so on; a miss in the last level
 // returns one beyond the level count (memory).
 func (c *Cache) Access(addr uint64, size uint32, write bool) int {
-	if size == 0 {
-		size = 1
-	}
 	first := addr >> c.lineShift
-	last := (addr + uint64(size) - 1) >> c.lineShift
+	if size <= 1 || (addr+uint64(size)-1)>>c.lineShift == first {
+		// Common case: the access stays within one line (kept small so the
+		// whole call inlines into the simulator hot loops).
+		return c.accessLine(first, write)
+	}
+	return c.accessSpan(first, (addr+uint64(size)-1)>>c.lineShift, write)
+}
+
+func (c *Cache) accessSpan(first, last uint64, write bool) int {
 	depth := 0
 	for ln := first; ln <= last; ln++ {
 		if d := c.accessLine(ln, write); d > depth {
@@ -157,20 +172,35 @@ func (c *Cache) Access(addr uint64, size uint32, write bool) int {
 
 // accessLine handles one line-granular access and returns the service depth.
 func (c *Cache) accessLine(lineAddr uint64, write bool) int {
-	set := c.sets[lineAddr&c.setMask]
-	tag := lineAddr // full line address as tag keeps the mapping injective
+	si := lineAddr & c.setMask
+	base := int(si) * c.assoc
+	// Full line address as tag keeps the mapping injective; the valid bit
+	// is part of the match word, so one compare tests validity and tag.
+	tag := lineAddr | lineValid
 	c.stamp++
 	if write {
 		c.Stats.WriteAccesses++
 	} else {
 		c.Stats.ReadAccesses++
 	}
-	// Hit?
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.stamp
+	// Hit? Probe the most-recently-used way first: temporally local streams
+	// resolve there without scanning the set.
+	if ln := &c.lines[base+int(c.mru[si])]; ln.tag&^lineDirty == tag {
+		ln.lru = c.stamp
+		if write {
+			ln.tag |= lineDirty
+			c.Stats.WriteHits++
+		} else {
+			c.Stats.ReadHits++
+		}
+		return 1
+	}
+	for i := 0; i < c.assoc; i++ {
+		if ln := &c.lines[base+i]; ln.tag&^lineDirty == tag {
+			ln.lru = c.stamp
+			c.mru[si] = int32(i)
 			if write {
-				set[i].dirty = true
+				ln.tag |= lineDirty
 				c.Stats.WriteHits++
 			} else {
 				c.Stats.ReadHits++
@@ -193,42 +223,49 @@ func (c *Cache) accessLine(lineAddr uint64, write bool) int {
 	}
 	// Choose victim: invalid way first, else LRU.
 	victim := -1
-	for i := range set {
-		if !set[i].valid {
+	for i := 0; i < c.assoc; i++ {
+		if c.lines[base+i].tag&lineValid == 0 {
 			victim = i
 			break
 		}
-		if victim < 0 || set[i].lru < set[victim].lru {
+		if victim < 0 || c.lines[base+i].lru < c.lines[base+victim].lru {
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	v := &c.lines[base+victim]
+	if v.tag&lineValid != 0 {
 		// Valid line evicted: replacement.
 		if write {
 			c.Stats.WriteRepl++
 		} else {
 			c.Stats.ReadRepl++
 		}
-		if set[victim].dirty {
+		if v.tag&lineDirty != 0 {
 			c.Stats.Writebacks++
 			if c.next != nil {
-				c.next.accessLine(set[victim].tag, true)
+				c.next.accessLine(v.tag&lineTagMask, true)
 			} else {
 				c.MemAccesses++
 			}
 		}
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	newTag := tag
+	if write {
+		newTag |= lineDirty
+	}
+	*v = line{tag: newTag, lru: c.stamp}
+	c.mru[si] = int32(victim)
 	return depth
 }
 
 // Reset clears contents and statistics (cold caches, as the paper flushes
 // caches before each benchmark repetition).
 func (c *Cache) Reset() {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			c.sets[si][wi] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 	c.Stats = Stats{}
 	c.MemAccesses = 0

@@ -63,6 +63,42 @@ func (h *Hierarchy) Fetch(addr uint64, size uint32) int {
 	return h.L1I.Access(addr, size, false)
 }
 
+// RunSite is one strided data access of a uniform loop span (the cache-side
+// mirror of the executor protocol's loop-run site).
+type RunSite struct {
+	Addr    uint64
+	Step    int64
+	RowStep int64
+	Size    uint16
+	Write   bool
+}
+
+// DataRun replays rows×count iterations of interleaved strided accesses
+// through the data hierarchy, in exactly the order per-access Data calls
+// would take. Living inside the cache package lets it reach accessLine
+// directly, which removes the per-access wrapper cost of the hottest
+// simulator loop.
+func (h *Hierarchy) DataRun(count, rows int, sites []RunSite) {
+	l1d := h.L1D
+	if rows < 1 {
+		rows = 1
+	}
+	for j := 0; j < rows; j++ {
+		for i := 0; i < count; i++ {
+			for s := range sites {
+				st := &sites[s]
+				addr := st.Addr + uint64(int64(j)*st.RowStep+int64(i)*st.Step)
+				first := addr >> l1d.lineShift
+				if st.Size <= 1 || (addr+uint64(st.Size)-1)>>l1d.lineShift == first {
+					l1d.accessLine(first, st.Write)
+				} else {
+					l1d.accessSpan(first, (addr+uint64(st.Size)-1)>>l1d.lineShift, st.Write)
+				}
+			}
+		}
+	}
+}
+
 // Levels returns the instantiated levels with names, in L1D, L1I, L2[, L3]
 // order (the fixed feature ordering used by the predictor).
 func (h *Hierarchy) Levels() []*Cache {

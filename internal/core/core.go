@@ -135,16 +135,21 @@ func (d *DualRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildResu
 			return
 		}
 		prog := builds[i].Prog
-		hwM, err := hw.NewMachine(d.Prof)
+		// Pooled machines: dataset generation simulates thousands of
+		// candidates, so cache hierarchies are re-used via Reset() instead
+		// of being rebuilt per candidate.
+		hwM, err := hw.AcquireMachine(d.Prof)
 		if err != nil {
 			out[i] = runner.MeasureResult{Err: err, Score: math.Inf(1)}
 			return
 		}
-		simM, err := sim.New(d.Prof.Arch, d.Prof.Caches)
+		defer hw.ReleaseMachine(hwM)
+		simM, err := sim.Acquire(d.Prof.Arch, d.Prof.Caches)
 		if err != nil {
 			out[i] = runner.MeasureResult{Err: err, Score: math.Inf(1)}
 			return
 		}
+		defer sim.Release(simM)
 		start := time.Now()
 		lower.Execute(prog, lower.Fanout{hwM, simM}, false)
 		simWall := time.Since(start).Seconds()

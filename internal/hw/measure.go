@@ -45,10 +45,11 @@ type Measurement struct {
 // references, as the paper observes in §IV-A — plus occasional positive
 // outliers modelling background system load. All randomness comes from rng.
 func Measure(p *lower.Program, prof Profile, opt MeasureOptions, rng *num.RNG) (Measurement, error) {
-	m, err := NewMachine(prof)
+	m, err := AcquireMachine(prof)
 	if err != nil {
 		return Measurement{}, err
 	}
+	defer ReleaseMachine(m)
 	lower.Execute(p, m, false)
 	return SampleMeasurement(m.Seconds(), m.Cycles(), prof, opt, rng), nil
 }

@@ -44,6 +44,15 @@ func newRegionSink(t *testing.T, p *Program) *regionSink {
 func (rs *regionSink) Consume(events []Event) {
 	for i := range events {
 		e := &events[i]
+		if e.Kind == EvFetch {
+			// Fetch events carry 64 B line addresses; the first line of the
+			// segment may start below codeBase.
+			if e.PC < rs.code.lo&^63 || e.PC >= rs.code.hi {
+				rs.t.Errorf("fetch line %#x outside code segment [%#x,%#x)", e.PC, rs.code.lo, rs.code.hi)
+				return
+			}
+			continue
+		}
 		if e.PC < rs.code.lo || e.PC >= rs.code.hi {
 			rs.t.Errorf("PC %#x outside code segment [%#x,%#x)", e.PC, rs.code.lo, rs.code.hi)
 			return
@@ -64,6 +73,39 @@ func (rs *regionSink) Consume(events []Event) {
 			rs.t.Errorf("data access [%#x,%#x) (%s) outside all tensor/stack regions",
 				lo, hi, e.Class)
 			return
+		}
+	}
+}
+
+func (rs *regionSink) ConsumeCounts(_ *Counts) {}
+
+// ConsumeLoop validates a uniform span by its corners: strided access
+// addresses are affine in the row and iteration indices, so the extreme
+// (row, iteration) pairs bound every access of the run.
+func (rs *regionSink) ConsumeLoop(run *LoopRun) {
+	rows := run.Rows
+	if rows < 1 {
+		rows = 1
+	}
+	for s := range run.Sites {
+		site := &run.Sites[s]
+		for _, j := range []int{0, rows - 1} {
+			for _, i := range []int{0, run.Count - 1} {
+				addr := site.Addr + uint64(int64(j)*site.RowStep+int64(i)*site.Step)
+				lo, hi := addr, addr+uint64(site.Size)
+				ok := false
+				for _, r := range rs.data {
+					if lo >= r.lo && hi <= r.hi {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					rs.t.Errorf("loop-run access [%#x,%#x) outside all tensor/stack regions", lo, hi)
+					return
+				}
+				rs.checked++
+			}
 		}
 	}
 }
@@ -92,6 +134,7 @@ func TestAllAddressesWithinRegions(t *testing.T) {
 		}
 		rs := newRegionSink(t, p)
 		Execute(p, rs, false)
+		ExecutePerInstruction(p, rs, false)
 		if t.Failed() {
 			t.Fatalf("trial %d failed (schedule %s)", trial, s)
 		}

@@ -122,6 +122,49 @@ func Build(s *schedule.Schedule, model isa.Model) (*Program, error) {
 		p.epiFLOPs = te.CountFLOPs(op.Epilogue)
 	}
 
+	// --- Inner-loop strength-reduction strides. ---
+	if nl := len(p.levels); nl > 0 {
+		d := nl - 1
+		for _, g := range p.levels[d].Guards {
+			p.innerGuardStep = append(p.innerGuardStep, g.Value.coefOf(d))
+		}
+		dimOff := 0
+		for _, site := range p.bodyLoads {
+			p.innerElemStep = append(p.innerElemStep, site.Elem.coefOf(d))
+			p.innerDimOff = append(p.innerDimOff, dimOff)
+			ds := make([]int, len(site.Dims))
+			for k := range site.Dims {
+				ds[k] = site.Dims[k].coefOf(d)
+			}
+			p.innerDimStep = append(p.innerDimStep, ds)
+			if site.CanOOB {
+				dimOff += len(site.Dims)
+			}
+		}
+		p.innerDimOff = append(p.innerDimOff, dimOff)
+		p.innerTileStep = p.tileStride[d]
+		if nl >= 2 {
+			dp := nl - 2
+			for _, g := range p.levels[d].Guards {
+				p.parentGuardStep = append(p.parentGuardStep, g.Value.coefOf(dp))
+			}
+			for _, site := range p.bodyLoads {
+				p.parentElemStep = append(p.parentElemStep, site.Elem.coefOf(dp))
+				if site.CanOOB {
+					for k := range site.Dims {
+						p.parentDimStep = append(p.parentDimStep, site.Dims[k].coefOf(dp))
+					}
+				}
+			}
+			p.parentTileStep = p.tileStride[dp]
+		}
+	}
+	for _, lv := range p.levels {
+		if len(lv.Guards) > p.maxGuards {
+			p.maxGuards = len(lv.Guards)
+		}
+	}
+
 	// --- Store site. ---
 	p.store = storeSite{
 		Tensor: op.Out,

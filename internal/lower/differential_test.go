@@ -1,0 +1,238 @@
+package lower_test
+
+// Differential test of the block-aggregated event encoding: Execute (run
+// events + bulk counts) must produce bit-identical simulator statistics and
+// timing-model cycles to ExecutePerInstruction (one event per executed
+// instruction) — the aggregation is an encoding change, not a model change.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/num"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+// diffCase builds one workload+schedule pair; a fresh workload per build
+// keeps tensor placement independent across encodings.
+type diffCase struct {
+	name  string
+	build func(t *testing.T) (*te.Workload, *schedule.Schedule)
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{"matmul-default", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.MatMul(12, 9, 11)
+			return wl, schedule.New(wl.Op)
+		}},
+		{"matmul-tiled-vectorized", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.MatMul(16, 12, 16)
+			s := schedule.New(wl.Op)
+			i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+			_, ii, _ := s.Split(i, 4)
+			jo, ji, _ := s.Split(j, 8)
+			ko, ki, _ := s.Split(k, 3)
+			if err := s.Reorder([]*schedule.IterVar{s.Leaves[0], jo, ko, ii, ki, ji}); err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Vectorize(ji)
+			return wl, s
+		}},
+		{"matmul-unrolled", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.MatMul(8, 6, 8)
+			s := schedule.New(wl.Op)
+			_, ki, _ := s.Split(s.Leaves[2], 3)
+			_ = s.Unroll(ki)
+			return wl, s
+		}},
+		{"matmul-split-tail", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			// 10 split by 3 and 7 split by 4 both leave guarded tails.
+			wl := te.MatMul(10, 7, 9)
+			s := schedule.New(wl.Op)
+			_, _, _ = s.Split(s.Leaves[0], 3)
+			_, _, _ = s.Split(s.Leaves[2], 4)
+			return wl, s
+		}},
+		{"matmul-spilled", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.MatMul(16, 8, 16)
+			s := schedule.New(wl.Op)
+			i, j, k := s.Leaves[0], s.Leaves[1], s.Leaves[2]
+			if err := s.Reorder([]*schedule.IterVar{k, i, j}); err != nil {
+				t.Fatal(err)
+			}
+			return wl, s
+		}},
+		{"conv-padded-default", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.ConvGroup(te.ScaleTiny, 1) // stride 1, pad 1
+			return wl, schedule.New(wl.Op)
+		}},
+		{"conv-padded-vectorized", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			wl := te.ConvGroup(te.ScaleTiny, 1)
+			s := schedule.New(wl.Op)
+			leaves := s.Leaves
+			ow := leaves[3]
+			order := []*schedule.IterVar{leaves[0], leaves[1], leaves[2], leaves[4], leaves[5], leaves[6], ow}
+			if err := s.Reorder(order); err != nil {
+				t.Fatal(err)
+			}
+			_ = s.Vectorize(ow)
+			return wl, s
+		}},
+	}
+}
+
+// runBoth executes one case under both encodings on fresh machines and
+// returns (per-instruction, aggregated) results.
+func runBoth(t *testing.T, tc diffCase, arch isa.Arch, compute bool,
+	exec func(*lower.Program, lower.Sink, bool)) (*sim.Stats, *hw.Machine) {
+	t.Helper()
+	_, s := tc.build(t)
+	prog, err := lower.Build(s, isa.Lookup(arch))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	prof := hw.Lookup(arch)
+	simM, err := sim.New(arch, prof.Caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwM, err := hw.NewMachine(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(prog, lower.Fanout{simM, hwM}, compute)
+	if err := simM.CheckInvariants(); err != nil {
+		t.Fatalf("cache invariants: %v", err)
+	}
+	return simM.Stats(), hwM
+}
+
+// TestBlockAggregationRandomSchedules fuzzes the same bit-identity property
+// over random split/reorder/annotation mixes: the executor's fast paths
+// (segmented spans, parent hoisting, per-iteration strength reduction) are
+// gated on schedule shape, so random schedules exercise gate combinations
+// the hand-picked cases miss.
+func TestBlockAggregationRandomSchedules(t *testing.T) {
+	rng := num.NewRNG(404)
+	for trial := 0; trial < 60; trial++ {
+		var wl func() *te.Workload
+		switch trial % 3 {
+		case 0:
+			m, n, k := 5+rng.Intn(12), 3+rng.Intn(10), 5+rng.Intn(12)
+			wl = func() *te.Workload { return te.MatMul(m, n, k) }
+		case 1:
+			g := rng.Intn(te.NumConvGroups)
+			wl = func() *te.Workload { return te.ConvGroup(te.ScaleTiny, g) }
+		default:
+			b, in, out := 1+rng.Intn(4), 4+rng.Intn(12), 4+rng.Intn(12)
+			wl = func() *te.Workload { return te.DenseBiasRelu(b, in, out) }
+		}
+		steps := randomScheduleSteps(rng, wl())
+		arch := isa.Archs()[trial%3]
+		tc := diffCase{name: "random", build: func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			w := wl()
+			s := schedule.New(w.Op)
+			steps(s)
+			return w, s
+		}}
+		refStats, refHW := runBoth(t, tc, arch, false, lower.ExecutePerInstruction)
+		aggStats, aggHW := runBoth(t, tc, arch, false, lower.Execute)
+		refStats.SimWallSeconds, aggStats.SimWallSeconds = 0, 0
+		refStats.SinkEvents, aggStats.SinkEvents = 0, 0
+		if !reflect.DeepEqual(refStats, aggStats) {
+			t.Fatalf("trial %d (%s): sim stats differ:\nper-instr: %+v\naggregated: %+v",
+				trial, arch, refStats, aggStats)
+		}
+		if refHW.Cycles() != aggHW.Cycles() || refHW.Mispredicts() != aggHW.Mispredicts() {
+			t.Fatalf("trial %d (%s): hw cycles/mispredicts differ", trial, arch)
+		}
+	}
+}
+
+// randomScheduleSteps draws a random schedule transformation once and
+// returns a closure replaying it on a fresh schedule (both encodings must
+// build the identical schedule).
+func randomScheduleSteps(rng *num.RNG, wl *te.Workload) func(*schedule.Schedule) {
+	type splitStep struct{ leaf, factor int }
+	var splits []splitStep
+	probe := schedule.New(wl.Op)
+	nSplits := rng.Intn(3)
+	for i := 0; i < nSplits; i++ {
+		li := rng.Intn(len(probe.Leaves))
+		leaf := probe.Leaves[li]
+		if leaf.Extent < 2 {
+			continue
+		}
+		factor := 1 + rng.Intn(leaf.Extent)
+		if _, _, err := probe.Split(leaf, factor); err == nil {
+			splits = append(splits, splitStep{li, factor})
+		}
+	}
+	perm := rng.Perm(len(probe.Leaves))
+	unrollIdx := -1
+	if rng.Float64() < 0.5 {
+		unrollIdx = rng.Intn(len(perm))
+	}
+	vectorize := rng.Float64() < 0.5
+	return func(s *schedule.Schedule) {
+		for _, sp := range splits {
+			_, _, _ = s.Split(s.Leaves[sp.leaf], sp.factor)
+		}
+		order := make([]*schedule.IterVar, len(perm))
+		for i, p := range perm {
+			order[i] = s.Leaves[p]
+		}
+		_ = s.Reorder(order)
+		if unrollIdx >= 0 {
+			if leaf := s.Leaves[unrollIdx]; leaf.Ann == schedule.AnnNone {
+				_ = s.Unroll(leaf)
+			}
+		}
+		last := s.Leaves[len(s.Leaves)-1]
+		if vectorize && last.Kind() == te.Spatial && last.Ann == schedule.AnnNone {
+			_ = s.Vectorize(last)
+		}
+	}
+}
+
+func TestBlockAggregationBitIdentical(t *testing.T) {
+	for _, arch := range isa.Archs() {
+		for _, tc := range diffCases() {
+			for _, compute := range []bool{false, true} {
+				name := string(arch) + "/" + tc.name
+				if compute {
+					name += "/computeValues"
+				}
+				t.Run(name, func(t *testing.T) {
+					refStats, refHW := runBoth(t, tc, arch, compute, lower.ExecutePerInstruction)
+					aggStats, aggHW := runBoth(t, tc, arch, compute, lower.Execute)
+
+					// The aggregated encoding must deliver strictly fewer
+					// protocol events; the statistics themselves are compared
+					// with the diagnostics blanked.
+					if aggStats.SinkEvents >= refStats.SinkEvents {
+						t.Errorf("aggregation did not reduce events: %d vs %d",
+							aggStats.SinkEvents, refStats.SinkEvents)
+					}
+					refStats.SimWallSeconds, aggStats.SimWallSeconds = 0, 0
+					refStats.SinkEvents, aggStats.SinkEvents = 0, 0
+					if !reflect.DeepEqual(refStats, aggStats) {
+						t.Errorf("sim stats differ:\nper-instr: %+v\naggregated: %+v", refStats, aggStats)
+					}
+					if rc, ac := refHW.Cycles(), aggHW.Cycles(); rc != ac {
+						t.Errorf("hw cycles differ: per-instr %v vs aggregated %v", rc, ac)
+					}
+					if rm, am := refHW.Mispredicts(), aggHW.Mispredicts(); rm != am {
+						t.Errorf("hw mispredicts differ: %d vs %d", rm, am)
+					}
+				})
+			}
+		}
+	}
+}

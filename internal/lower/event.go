@@ -16,9 +16,48 @@
 // loads are hoisted out of inner loops, register-tile accumulators that
 // exceed the architectural register file spill to the stack, and split tails
 // or padding emit guard instructions.
+//
+// # Event protocol
+//
+// The executor→sink protocol is block-aggregated: instead of materializing
+// one event per executed instruction, Execute streams only the events that
+// carry per-event state, and delivers everything else as arithmetic
+// aggregates. A Sink receives three channels:
+//
+//   - Consume(events): the ordered event stream. It contains EvData events
+//     (one per load/store, with the data address and width) and EvFetch
+//     events (one per instruction-fetch line crossing, emitted exactly where
+//     a per-instruction walk would have fetched a new L1I line). Order is
+//     significant — data accesses and fetch misses share the L2 — and is
+//     bit-identical to the per-instruction stream's cache access order.
+//   - ConsumeLoop(run): a uniform inner-loop span — Count iterations whose
+//     guard outcomes, padding checks and spill status the executor has
+//     proven constant — shipped as one message of strided access sites. The
+//     sink replays the accesses in interleaved iteration order, which is
+//     exactly the order the span's per-event stream would have had.
+//     ConsumeLoop calls are ordered relative to Consume batches.
+//   - ConsumeCounts(counts): bulk per-class instruction counts plus flagged-
+//     branch tallies (loop exits, guard branches) aggregated over the whole
+//     execution. These quantities are order-independent: they feed pure
+//     counters (sim) or end-of-run arithmetic (hw issue cycles, mispredict
+//     penalties), so aggregating them loses no information.
+//
+// Uniform non-memory instruction bursts (the bodyFLOPs FMA runs, accumulator
+// init blocks, preheader ALU padding) are folded by the executor into single
+// count updates with fetch line crossings computed from the PC span in
+// O(lines) instead of O(instructions).
+//
+// ExecutePerInstruction emits the legacy encoding — one EvInstr event per
+// executed instruction, with sinks modelling the I-fetch themselves and no
+// ConsumeCounts call. Both encodings produce bit-identical statistics (see
+// TestBlockAggregationBitIdentical); the aggregated one is several times
+// faster and is what every production path uses.
 package lower
 
-import "repro/internal/isa"
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
 
 // Event flags.
 const (
@@ -29,10 +68,31 @@ const (
 	FlagGuard
 )
 
-// Event is one executed instruction. Every instruction (including ALU and
-// branch) is an event; loads/stores additionally carry a data address.
+// Kind discriminates the event stream entries of the protocol.
+type Kind uint8
+
+const (
+	// EvInstr is one executed instruction in the legacy per-instruction
+	// encoding: sinks count its class, model its fetch at line granularity,
+	// perform its data access (loads/stores) and inspect its flags. The zero
+	// value, so hand-built event slices default to it.
+	EvInstr Kind = iota
+	// EvFetch is an instruction-fetch line crossing: PC holds the 64 B line
+	// address to fetch. The executor tracks the current fetch line itself and
+	// emits EvFetch exactly where the per-instruction walk would have changed
+	// lines, so sinks just perform the access.
+	EvFetch
+	// EvData is a data access (Class, Addr, Size) whose instruction fetch and
+	// class count have already been delivered through EvFetch/ConsumeCounts.
+	EvData
+)
+
+// Event is one entry of the ordered event stream. In the legacy encoding
+// every executed instruction is an EvInstr event; in the block-aggregated
+// encoding only fetch line crossings and data accesses appear.
 type Event struct {
-	// PC is the instruction address (drives L1I behaviour).
+	// PC is the instruction address (EvInstr, EvData) or the fetched line
+	// address (EvFetch).
 	PC uint64
 	// Addr is the data address for loads/stores (0 otherwise).
 	Addr uint64
@@ -40,14 +100,56 @@ type Event struct {
 	Size uint16
 	// Class is the instruction class.
 	Class isa.Class
-	// Flags carries branch metadata.
+	// Flags carries branch metadata (EvInstr only).
 	Flags uint8
+	// Kind discriminates the protocol entry.
+	Kind Kind
 }
 
-// Sink consumes batches of events. Batches are only valid during the call;
-// implementations must not retain the slice.
+// Counts aggregates the order-independent quantities of one execution:
+// per-class instruction counts and flagged-branch tallies.
+type Counts struct {
+	// ByClass counts executed instructions per class (memory classes
+	// included — their EvData events carry only the cache access).
+	ByClass [isa.NumClasses]uint64
+	// LoopExits counts branches flagged FlagLoopExit.
+	LoopExits uint64
+	// GuardBranches counts branches flagged FlagGuard.
+	GuardBranches uint64
+}
+
+// LoopSite is one strided data access of a LoopRun: the address at the
+// first iteration plus per-iteration and per-row deltas. It is the cache
+// package's RunSite so sinks can hand the sites straight to
+// cache.Hierarchy.DataRun without copying.
+type LoopSite = cache.RunSite
+
+// LoopRun describes a uniform loop span: Rows × Count iterations that each
+// access the Sites in order, with every site's address advancing by Step
+// per inner iteration and RowStep per row. Replaying `for j in [0,Rows):
+// for i in [0,Count): for s in Sites: access(s.Addr + j*s.RowStep +
+// i*s.Step)` is bit-identical to the interleaved per-event stream the span
+// would otherwise emit — the executor proves uniformity (guards, padding
+// checks and spill status constant across the span) before emitting one.
+// Rows is 1 for plain inner-loop spans and the row count when a whole
+// parent×inner nest rectangle is uniform. The struct is only valid during
+// the ConsumeLoop call.
+type LoopRun struct {
+	Count int
+	Rows  int
+	Sites []LoopSite
+}
+
+// Sink consumes one program execution: the ordered event stream through
+// Consume (batches are only valid during the call; implementations must not
+// retain the slice), uniform inner-loop spans through ConsumeLoop (ordered
+// relative to Consume batches), and the bulk aggregates through
+// ConsumeCounts (called once per Execute, at the end; never called by
+// ExecutePerInstruction).
 type Sink interface {
 	Consume(events []Event)
+	ConsumeLoop(run *LoopRun)
+	ConsumeCounts(counts *Counts)
 }
 
 // Fanout duplicates an event stream to several sinks, letting one program
@@ -62,18 +164,43 @@ func (f Fanout) Consume(events []Event) {
 	}
 }
 
+// ConsumeLoop forwards the span to every sink.
+func (f Fanout) ConsumeLoop(run *LoopRun) {
+	for _, s := range f {
+		s.ConsumeLoop(run)
+	}
+}
+
+// ConsumeCounts forwards the aggregates to every sink.
+func (f Fanout) ConsumeCounts(counts *Counts) {
+	for _, s := range f {
+		s.ConsumeCounts(counts)
+	}
+}
+
 // CountingSink tallies events by class; used in tests and quick estimates.
 type CountingSink struct {
 	ByClass [isa.NumClasses]uint64
 	Total   uint64
 	Loads   uint64
 	Stores  uint64
+	// LoopExits/GuardBranches tally flagged branches (aggregated encoding
+	// and legacy EvInstr events alike).
+	LoopExits     uint64
+	GuardBranches uint64
+	// Events counts protocol events received, a diagnostic for the
+	// aggregation ratio (events per instruction).
+	Events uint64
 }
 
 // Consume implements Sink.
 func (c *CountingSink) Consume(events []Event) {
+	c.Events += uint64(len(events))
 	for i := range events {
 		e := &events[i]
+		if e.Kind != EvInstr {
+			continue // counted through ConsumeCounts
+		}
 		c.ByClass[e.Class]++
 		c.Total++
 		if e.Class.IsLoad() {
@@ -82,11 +209,41 @@ func (c *CountingSink) Consume(events []Event) {
 		if e.Class.IsStore() {
 			c.Stores++
 		}
+		if e.Flags&FlagLoopExit != 0 {
+			c.LoopExits++
+		}
+		if e.Flags&FlagGuard != 0 {
+			c.GuardBranches++
+		}
 	}
 }
 
-// batchSize is the executor's event-buffer length.
-const batchSize = 4096
+// ConsumeLoop implements Sink (instruction classes of a span arrive through
+// ConsumeCounts; the span itself counts as one protocol event).
+func (c *CountingSink) ConsumeLoop(run *LoopRun) {
+	c.Events++
+}
+
+// ConsumeCounts implements Sink.
+func (c *CountingSink) ConsumeCounts(counts *Counts) {
+	for cl, n := range counts.ByClass {
+		c.ByClass[cl] += n
+		c.Total += n
+		if isa.Class(cl).IsLoad() {
+			c.Loads += n
+		}
+		if isa.Class(cl).IsStore() {
+			c.Stores += n
+		}
+	}
+	c.LoopExits += counts.LoopExits
+	c.GuardBranches += counts.GuardBranches
+}
+
+// batchSize is the executor's event-buffer length. 1024 events (24 KiB)
+// keep the producer/consumer hand-off within the host L1/L2 while still
+// amortizing the sink's interface dispatch.
+const batchSize = 1024
 
 // emitter buffers events and flushes them to a sink in batches.
 type emitter struct {
@@ -105,6 +262,7 @@ func (e *emitter) emit(ev Event) {
 	}
 }
 
+//go:noinline
 func (e *emitter) flush() {
 	if len(e.buf) > 0 {
 		e.sink.Consume(e.buf)

@@ -6,19 +6,52 @@ import (
 	"repro/internal/tensor"
 )
 
-// Execute runs the lowered program once, streaming one Event per executed
-// instruction to sink. When computeValues is set the program also performs
-// the real float32 arithmetic (allocating tensors as needed) so the result
-// can be validated against te.ComputeOp.ReferenceEval; with it off, only
-// addresses and instruction classes are produced, which is what the
-// simulators need and is considerably faster.
+// Execute runs the lowered program once, streaming the block-aggregated
+// event encoding to sink: EvData events for loads/stores, EvFetch events for
+// instruction-line crossings, and one ConsumeCounts call with the bulk
+// per-class instruction counts (see the package comment for the protocol).
+// When computeValues is set the program also performs the real float32
+// arithmetic (allocating tensors as needed) so the result can be validated
+// against te.ComputeOp.ReferenceEval; with it off, only addresses and
+// instruction classes are produced, which is what the simulators need and is
+// considerably faster.
 func Execute(p *Program, sink Sink, computeValues bool) {
+	execute(p, sink, computeValues, false)
+}
+
+// ExecutePerInstruction runs the lowered program once in the legacy
+// per-instruction encoding: one EvInstr event per executed instruction and
+// no ConsumeCounts call. It is the reference encoding the block-aggregated
+// one is differentially tested against; production paths use Execute.
+func ExecutePerInstruction(p *Program, sink Sink, computeValues bool) {
+	execute(p, sink, computeValues, true)
+}
+
+func execute(p *Program, sink Sink, computeValues, perInstr bool) {
 	c := &execCtx{
-		p:       p,
-		em:      newEmitter(sink),
-		vals:    make([]int, len(p.levels)),
-		compute: computeValues,
-		ib:      uint64(p.Model.InstBytes),
+		p:        p,
+		em:       newEmitter(sink),
+		vals:     make([]int, len(p.levels)),
+		compute:  computeValues,
+		perInstr: perInstr,
+		lastLine: noLine,
+		ib:       uint64(p.Model.InstBytes),
+	}
+	if !computeValues && !perInstr && len(p.levels) > 0 && p.reduceStart < len(p.levels) {
+		// Scratch of the fast inner loop, one backing array: guard bases and
+		// intervals, site bases and intervals, flattened dim bases, cuts.
+		ns := len(p.bodyLoads)
+		nd := p.innerDimOff[ns]
+		ncuts := 2 + 2*p.maxGuards + 2*ns + 2
+		back := make([]int, 3*p.maxGuards+3*ns+nd+ncuts)
+		c.innerGuardBase, back = back[:p.maxGuards], back[p.maxGuards:]
+		c.innerGuardLo, back = back[:p.maxGuards], back[p.maxGuards:]
+		c.innerGuardHi, back = back[:p.maxGuards], back[p.maxGuards:]
+		c.innerElemBase, back = back[:ns], back[ns:]
+		c.innerSiteLo, back = back[:ns], back[ns:]
+		c.innerSiteHi, back = back[:ns], back[ns:]
+		c.innerDimBase, back = back[:nd], back[nd:]
+		c.innerCuts = back[:0:ncuts]
 	}
 	if computeValues {
 		p.Op.Out.Alloc()
@@ -31,9 +64,7 @@ func Execute(p *Program, sink Sink, computeValues bool) {
 
 	// Preheader: argument/address setup plus fully loop-invariant loads.
 	c.pc = p.codeBase
-	for i := 0; i < 8; i++ {
-		c.inst(isa.ALU, 0)
-	}
+	c.run(isa.ALU, 8)
 	for _, site := range p.preheader {
 		c.scalarLoad(site)
 	}
@@ -50,7 +81,14 @@ func Execute(p *Program, sink Sink, computeValues bool) {
 		c.runLevel(0, p.codeBase+p.levels[0].BlockOff)
 	}
 	c.em.flush()
+	if !perInstr {
+		sink.ConsumeCounts(&c.counts)
+	}
 }
+
+// noLine is the "no fetch line yet" sentinel; real line addresses are 64 B
+// aligned, so it never collides.
+const noLine = ^uint64(0)
 
 type execCtx struct {
 	p        *Program
@@ -59,20 +97,791 @@ type execCtx struct {
 	axisVals []int
 	acc      []float32
 	compute  bool
+	perInstr bool
+	counts   Counts
+	lastLine uint64
 	pc       uint64
 	ib       uint64
+
+	// Scratch of the strength-reduced inner loop: affine base values at
+	// iteration 0 and the uniform-span machinery, re-used across inner-loop
+	// invocations.
+	innerGuardBase []int
+	innerElemBase  []int
+	innerDimBase   []int
+	innerCuts      []int
+	innerGuardLo   []int
+	innerGuardHi   []int
+	innerSiteLo    []int
+	innerSiteHi    []int
+	loopRun        LoopRun
+}
+
+// fetchLine emits an EvFetch event when the current PC has crossed onto a
+// new instruction line (aggregated encoding only).
+func (c *execCtx) fetchLine() {
+	if line := c.pc &^ 63; line != c.lastLine {
+		c.em.emit(Event{Kind: EvFetch, PC: line})
+		c.lastLine = line
+	}
 }
 
 // inst emits one non-memory instruction at the current PC.
 func (c *execCtx) inst(class isa.Class, flags uint8) {
-	c.em.emit(Event{PC: c.pc, Class: class, Flags: flags})
+	if c.perInstr {
+		c.em.emit(Event{PC: c.pc, Class: class, Flags: flags})
+		c.pc += c.ib
+		return
+	}
+	c.counts.ByClass[class]++
+	if flags != 0 {
+		if flags&FlagLoopExit != 0 {
+			c.counts.LoopExits++
+		}
+		if flags&FlagGuard != 0 {
+			c.counts.GuardBranches++
+		}
+	}
+	c.fetchLine()
 	c.pc += c.ib
+}
+
+// run emits a uniform burst of n non-memory instructions of one class
+// starting at the current PC — one bulk count update plus the fetch-line
+// crossings of the PC span in O(lines) instead of O(n). Instruction strides
+// are below the 64 B line size (InstBytes is 3–4), so stepping the line by
+// 64 visits every crossed line.
+func (c *execCtx) run(class isa.Class, n int) {
+	if n <= 0 {
+		return
+	}
+	if c.perInstr {
+		for i := 0; i < n; i++ {
+			c.inst(class, 0)
+		}
+		return
+	}
+	c.counts.ByClass[class] += uint64(n)
+	c.fetchSpan(n)
+	c.pc += uint64(n) * c.ib
 }
 
 // mem emits one memory instruction at the current PC.
 func (c *execCtx) mem(class isa.Class, addr uint64, size uint16) {
-	c.em.emit(Event{PC: c.pc, Class: class, Addr: addr, Size: size})
+	if c.perInstr {
+		c.em.emit(Event{PC: c.pc, Class: class, Addr: addr, Size: size})
+		c.pc += c.ib
+		return
+	}
+	c.counts.ByClass[class]++
+	c.fetchLine()
+	c.em.emit(Event{Kind: EvData, PC: c.pc, Addr: addr, Size: size, Class: class})
 	c.pc += c.ib
+}
+
+// instFast emits one unflagged non-memory instruction in the aggregated
+// encoding (fast-path helper; branch-flag tallies are handled by the
+// caller).
+func (c *execCtx) instFast(class isa.Class) {
+	c.counts.ByClass[class]++
+	c.fetchLine()
+	c.pc += c.ib
+}
+
+// runInnerScalarFast executes the innermost non-vector loop of a reduction
+// body in statistics-only mode. Instead of re-evaluating guard, element and
+// dimension affines at every point, it evaluates them once at iteration 0
+// and advances the precomputed per-iteration strides (Program.inner*Step) —
+// classic strength reduction. Loops whose iteration block stays on one
+// I-line additionally run segment-wise: affine guard/padding/spill
+// conditions partition the iteration space into uniform spans, and each
+// span's data accesses ship as a single LoopRun. Both variants emit streams
+// bit-identical to the generic path.
+func (c *execCtx) runInnerScalarFast(d int, lv *level, blockBase uint64) {
+	p := c.p
+	c.vals[d] = 0
+	gb := c.innerGuardBase[:len(lv.Guards)]
+	for gi := range lv.Guards {
+		gb[gi] = lv.Guards[gi].Value.eval(c.vals)
+	}
+	eb := c.innerElemBase
+	db := c.innerDimBase
+	di := 0
+	for si, site := range p.bodyLoads {
+		eb[si] = site.Elem.eval(c.vals)
+		if site.CanOOB {
+			for k := range site.Dims {
+				db[di+k] = site.Dims[k].eval(c.vals)
+			}
+			di += len(site.Dims)
+		}
+	}
+	tile := 0
+	if len(p.tileLevels) > 0 {
+		tile = c.tileIdx() // vals[d] is 0: the base of the tile index
+	}
+	if !lv.Unrolled && blockBase&^63 == (blockBase+lv.PerIterSize-1)&^63 {
+		c.runInnerSegments(d, lv, blockBase, gb, eb, db, tile)
+		return
+	}
+	c.runInnerIter(d, lv, blockBase, gb, eb, db, tile)
+}
+
+// runParentOfInner executes the parent of the innermost scalar loop,
+// keeping the child's affine bases (guards, element offsets, padding dims,
+// tile index) hoisted: they are evaluated once at the first parent
+// iteration and advanced by the Program.parent*Step deltas afterwards, so
+// the per-parent-iteration base evaluation of runInnerScalarFast vanishes.
+func (c *execCtx) runParentOfInner(d int, lv *level, blockBase uint64) {
+	p := c.p
+	child := p.levels[d+1]
+	c.vals[d] = 0
+	// Bases at (parent 0, child 0): evaluate at the current child value and
+	// subtract its contribution instead of clobbering vals[d+1] — the
+	// generic path leaves the child's last value visible to the parent's
+	// guard/hoisted evaluations, and bit-identity includes that.
+	cv := c.vals[d+1]
+	gb := c.innerGuardBase[:len(child.Guards)]
+	for gi := range child.Guards {
+		gb[gi] = child.Guards[gi].Value.eval(c.vals) - cv*p.innerGuardStep[gi]
+	}
+	eb := c.innerElemBase
+	db := c.innerDimBase
+	di := 0
+	for si, site := range p.bodyLoads {
+		eb[si] = site.Elem.eval(c.vals) - cv*p.innerElemStep[si]
+		if site.CanOOB {
+			steps := p.innerDimStep[si]
+			for k := range site.Dims {
+				db[di+k] = site.Dims[k].eval(c.vals) - cv*steps[k]
+			}
+			di += len(site.Dims)
+		}
+	}
+	tile := 0
+	if len(p.tileLevels) > 0 {
+		tile = c.tileIdx() - cv*p.innerTileStep
+	}
+	nd := p.innerDimOff[len(p.bodyLoads)]
+	// 2D aggregation: when the parent is plain (no guards/hoisted loads, not
+	// unrolled, single I-line, no spill traffic) and every affine condition
+	// depends on at most one of the two levels, the pass region of the
+	// parent×inner nest is a rectangle of rows with an identical inner
+	// pattern — those rows ship as one two-dimensional LoopRun.
+	j2lo, j2hi := 0, 0
+	if len(lv.Guards) == 0 && len(lv.Hoisted) == 0 && !lv.Unrolled &&
+		!child.Unrolled && p.spillRegs == 0 &&
+		blockBase&^63 == (blockBase+lv.PerIterSize-1)&^63 {
+		j2lo, j2hi = c.nest2DRows(lv, child, gb, db)
+	}
+	for i := 0; i < lv.Extent; i++ {
+		if i == j2lo && j2hi > j2lo {
+			rows := j2hi - j2lo
+			if c.runNest2DBlock(lv, child, blockBase, gb, eb, db, rows, j2hi == lv.Extent) {
+				for gi := range gb {
+					gb[gi] += rows * p.parentGuardStep[gi]
+				}
+				for si := range eb {
+					eb[si] += rows * p.parentElemStep[si]
+				}
+				for j := 0; j < nd; j++ {
+					db[j] += rows * p.parentDimStep[j]
+				}
+				tile += rows * p.parentTileStep
+				c.vals[d] = j2hi - 1
+				c.vals[d+1] = child.Extent - 1
+				i = j2hi - 1
+				continue
+			}
+			j2hi = j2lo // ineligible nest shape: stay on the per-row path
+		}
+		c.vals[d] = i
+		iterBase := blockBase
+		if lv.Unrolled {
+			iterBase += uint64(i) * lv.PerIterSize
+		}
+		c.pc = iterBase
+		if c.passGuards(lv) {
+			for _, site := range lv.Hoisted {
+				c.scalarLoad(site)
+			}
+			childBase := iterBase + child.BlockOff
+			if !child.Unrolled && childBase&^63 == (childBase+child.PerIterSize-1)&^63 {
+				c.runInnerSegments(d+1, child, childBase, gb, eb, db, tile)
+			} else {
+				c.runInnerIter(d+1, child, childBase, gb, eb, db, tile)
+			}
+		}
+		if !lv.Unrolled {
+			c.instFast(isa.ALU)
+			c.instFast(isa.Branch)
+			if i == lv.Extent-1 {
+				c.counts.LoopExits++
+			}
+		}
+		// Advance the hoisted child bases to the next parent iteration
+		// (also when guards failed: the affines advance regardless).
+		for gi := range gb {
+			gb[gi] += p.parentGuardStep[gi]
+		}
+		for si := range eb {
+			eb[si] += p.parentElemStep[si]
+		}
+		for j := 0; j < nd; j++ {
+			db[j] += p.parentDimStep[j]
+		}
+		tile += p.parentTileStep
+	}
+}
+
+// nest2DRows returns the parent-iteration range over which the parent×inner
+// nest is rectangle-uniform: every condition that varies with the parent
+// level must not also vary with the inner level (no diagonal boundaries)
+// and must pass throughout the returned rows. An empty range means no 2D
+// aggregation.
+func (c *execCtx) nest2DRows(lv, child *level, gb, db []int) (int, int) {
+	p := c.p
+	pExt := lv.Extent
+	jLo, jHi := 0, pExt
+	for gi := range gb {
+		pd := p.parentGuardStep[gi]
+		if pd == 0 {
+			continue // row-constant; the block check handles it
+		}
+		if p.innerGuardStep[gi] != 0 {
+			return 0, 0
+		}
+		lo, hi := linearBelow(gb[gi], pd, child.Guards[gi].Extent, pExt)
+		if lo > jLo {
+			jLo = lo
+		}
+		if hi < jHi {
+			jHi = hi
+		}
+	}
+	di := 0
+	for si, site := range p.bodyLoads {
+		if !site.CanOOB {
+			continue
+		}
+		cds := p.innerDimStep[si]
+		for k := range cds {
+			pd := p.parentDimStep[di+k]
+			if pd == 0 {
+				continue
+			}
+			if cds[k] != 0 {
+				return 0, 0
+			}
+			lo, hi := linearAtLeast(db[di+k], pd, 0, pExt)
+			if lo > jLo {
+				jLo = lo
+			}
+			if hi < jHi {
+				jHi = hi
+			}
+			lo, hi = linearBelow(db[di+k], pd, site.Tensor.Shape[k], pExt)
+			if lo > jLo {
+				jLo = lo
+			}
+			if hi < jHi {
+				jHi = hi
+			}
+		}
+		di += len(cds)
+	}
+	return jLo, jHi
+}
+
+// runNest2DBlock executes rows consecutive parent iterations whose whole
+// parent×inner rectangle is uniform, as bulk counts plus one 2D LoopRun.
+// Bases must be positioned at the first block row. Returns false when the
+// inner range is not a single uniform segment (per-row execution handles
+// those shapes).
+func (c *execCtx) runNest2DBlock(lv, child *level, blockBase uint64, gb, eb, db []int, rows int, lastRows bool) bool {
+	p := c.p
+	cExt := child.Extent
+	// Inner guards must pass across the whole inner range.
+	for gi := range gb {
+		lo, hi := linearBelow(gb[gi], p.innerGuardStep[gi], child.Guards[gi].Extent, cExt)
+		if lo != 0 || hi != cExt {
+			return false
+		}
+	}
+	// Each site must be wholly loaded or wholly padding-skipped.
+	sites := c.loopRun.Sites[:0]
+	var canOOB, loaded uint64
+	di := 0
+	for si, site := range p.bodyLoads {
+		lo, hi := 0, cExt
+		if site.CanOOB {
+			canOOB++
+			steps := p.innerDimStep[si]
+			for k := range steps {
+				klo, khi := linearAtLeast(db[di+k], steps[k], 0, cExt)
+				if klo > lo {
+					lo = klo
+				}
+				if khi < hi {
+					hi = khi
+				}
+				klo, khi = linearBelow(db[di+k], steps[k], site.Tensor.Shape[k], cExt)
+				if klo > lo {
+					lo = klo
+				}
+				if khi < hi {
+					hi = khi
+				}
+			}
+			di += len(steps)
+		}
+		switch {
+		case lo <= 0 && hi >= cExt:
+			loaded++
+			sites = append(sites, LoopSite{
+				Addr:    site.Tensor.AddrOf(eb[si]),
+				Step:    int64(p.innerElemStep[si]) * tensor.ElemSize,
+				RowStep: int64(p.parentElemStep[si]) * tensor.ElemSize,
+				Size:    tensor.ElemSize,
+			})
+		case lo >= hi:
+			// padding: skipped across the whole rectangle
+		default:
+			c.loopRun.Sites = sites
+			return false
+		}
+	}
+	// One fetch covers the rectangle: every PC lies on blockBase's line.
+	c.pc = blockBase
+	c.fetchLine()
+	ng := uint64(len(gb))
+	flops := uint64(p.bodyFLOPs)
+	// Per inner iteration: guard pairs, padding-check pairs, loads, the FMA
+	// burst and the inner loop overhead; plus parent overhead per row.
+	aluCI := ng + canOOB + 1
+	brCI := ng + canOOB + 1
+	nInstrIter := 2*ng + 2*canOOB + loaded + flops + 2
+	rowsU := uint64(rows)
+	cExtU := uint64(cExt)
+	c.counts.ByClass[isa.ALU] += rowsU * (cExtU*aluCI + 1)
+	c.counts.ByClass[isa.Branch] += rowsU * (cExtU*brCI + 1)
+	c.counts.ByClass[isa.FMA] += rowsU * cExtU * flops
+	c.counts.ByClass[isa.Load] += rowsU * cExtU * loaded
+	c.counts.GuardBranches += rowsU * cExtU * (ng + canOOB)
+	c.counts.LoopExits += rowsU // the inner loop exits once per row
+	if lastRows {
+		c.counts.LoopExits++ // the parent loop exits on its last row
+	}
+	if len(sites) > 0 {
+		c.loopRun.Count = cExt
+		c.loopRun.Rows = rows
+		c.loopRun.Sites = sites
+		if len(c.em.buf) > 0 {
+			c.em.flush() // keep event/loop-run ordering
+		}
+		c.em.sink.ConsumeLoop(&c.loopRun)
+	} else {
+		c.loopRun.Sites = sites
+	}
+	// As after the last row: inner loop done, then the parent overhead pair.
+	c.pc = blockBase + child.BlockOff + (nInstrIter+2)*c.ib
+	return true
+}
+
+// runInnerIter is the per-iteration strength-reduced inner loop (general
+// case: unrolled bodies and blocks spanning several I-lines).
+func (c *execCtx) runInnerIter(d int, lv *level, blockBase uint64, gb, eb, db []int, tile int) {
+	p := c.p
+	spill := p.spillRegs > 0
+	flops := uint64(p.bodyFLOPs)
+	var alu, branch, fma, loads, stores, guardBr, exits uint64
+	for i := 0; i < lv.Extent; i++ {
+		c.vals[d] = i
+		iterBase := blockBase
+		if lv.Unrolled {
+			iterBase += uint64(i) * lv.PerIterSize
+		}
+		c.pc = iterBase
+		// When the whole iteration block lies on one I-line (PerIterSize is
+		// an upper bound on its emitted span), a single up-front check
+		// replaces every per-instruction line-crossing test.
+		sameLine := iterBase&^63 == (iterBase+lv.PerIterSize-1)&^63
+		if sameLine {
+			c.fetchLine() // pc is at iterBase
+		}
+		pass := true
+		for gi := range gb {
+			alu++
+			branch++
+			guardBr++
+			if !sameLine {
+				c.fetchLine()
+				c.pc += c.ib
+				c.fetchLine()
+				c.pc += c.ib
+			} else {
+				c.pc += 2 * c.ib
+			}
+			if gb[gi]+i*p.innerGuardStep[gi] >= lv.Guards[gi].Extent {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			di := 0
+			for si, site := range p.bodyLoads {
+				if site.CanOOB {
+					alu++
+					branch++
+					guardBr++
+					if !sameLine {
+						c.fetchLine()
+						c.pc += c.ib
+						c.fetchLine()
+						c.pc += c.ib
+					} else {
+						c.pc += 2 * c.ib
+					}
+					in := true
+					steps := p.innerDimStep[si]
+					for k := range steps {
+						v := db[di+k] + i*steps[k]
+						if v < 0 || v >= site.Tensor.Shape[k] {
+							in = false
+							break
+						}
+					}
+					di += len(steps)
+					if !in {
+						continue
+					}
+				}
+				loads++
+				if !sameLine {
+					c.fetchLine()
+				}
+				off := eb[si] + i*p.innerElemStep[si]
+				c.em.emit(Event{Kind: EvData, PC: c.pc,
+					Addr: site.Tensor.AddrOf(off), Size: tensor.ElemSize, Class: isa.Load})
+				c.pc += c.ib
+			}
+			ti := tile + i*p.innerTileStep
+			spilled := spill && ti >= p.spillFrom
+			if spilled {
+				loads++
+				if !sameLine {
+					c.fetchLine()
+				}
+				c.em.emit(Event{Kind: EvData, PC: c.pc,
+					Addr: p.stackBase + uint64(ti)*tensor.ElemSize, Size: tensor.ElemSize, Class: isa.Load})
+				c.pc += c.ib
+			}
+			fma += flops
+			if !sameLine {
+				c.fetchSpan(p.bodyFLOPs)
+			}
+			c.pc += flops * c.ib
+			if spilled {
+				stores++
+				if !sameLine {
+					c.fetchLine()
+				}
+				c.em.emit(Event{Kind: EvData, PC: c.pc,
+					Addr: p.stackBase + uint64(ti)*tensor.ElemSize, Size: tensor.ElemSize, Class: isa.Store})
+				c.pc += c.ib
+			}
+		}
+		if !lv.Unrolled {
+			alu++
+			branch++
+			if !sameLine {
+				c.fetchLine()
+				c.pc += c.ib
+				c.fetchLine()
+				c.pc += c.ib
+			} else {
+				c.pc += 2 * c.ib
+			}
+			if i == lv.Extent-1 {
+				exits++
+			}
+		}
+	}
+	c.counts.ByClass[isa.ALU] += alu
+	c.counts.ByClass[isa.Branch] += branch
+	c.counts.ByClass[isa.FMA] += fma
+	c.counts.ByClass[isa.Load] += loads
+	c.counts.ByClass[isa.Store] += stores
+	c.counts.GuardBranches += guardBr
+	c.counts.LoopExits += exits
+}
+
+// runInnerSegments executes a non-unrolled, single-I-line inner loop
+// segment-wise. Every emission decision of an iteration — guard outcomes,
+// padding checks, spill status — is an affine condition of the iteration
+// index, so its truth set is an interval. Cutting [0,Extent) at every
+// interval endpoint yields spans with a constant event pattern: counts are
+// added arithmetically per span, and the span's interleaved data accesses
+// ship as one LoopRun instead of per-iteration events.
+func (c *execCtx) runInnerSegments(d int, lv *level, blockBase uint64, gb, eb, db []int, tile int) {
+	p := c.p
+	ext := lv.Extent
+	// One fetch covers the whole loop: every PC lies on blockBase's line.
+	c.pc = blockBase
+	c.fetchLine()
+	// Cut [0,ext) at every interior truth-change point of the affine
+	// conditions. Full and empty truth sets add no cuts, so the common
+	// uniform case runs as a single sort-free segment.
+	cuts := append(c.innerCuts[:0], 0, ext)
+	gLo := c.innerGuardLo
+	gHi := c.innerGuardHi
+	for gi := range gb {
+		lo, hi := linearBelow(gb[gi], p.innerGuardStep[gi], lv.Guards[gi].Extent, ext)
+		gLo[gi], gHi[gi] = lo, hi
+		if lo > 0 && lo < ext {
+			cuts = append(cuts, lo)
+		}
+		if hi > 0 && hi < ext && hi > lo {
+			cuts = append(cuts, hi)
+		}
+	}
+	sLo := c.innerSiteLo
+	sHi := c.innerSiteHi
+	di := 0
+	for si, site := range p.bodyLoads {
+		lo, hi := 0, ext
+		if site.CanOOB {
+			steps := p.innerDimStep[si]
+			for k := range steps {
+				klo, khi := linearAtLeast(db[di+k], steps[k], 0, ext)
+				if klo > lo {
+					lo = klo
+				}
+				if khi < hi {
+					hi = khi
+				}
+				klo, khi = linearBelow(db[di+k], steps[k], site.Tensor.Shape[k], ext)
+				if klo > lo {
+					lo = klo
+				}
+				if khi < hi {
+					hi = khi
+				}
+			}
+			di += len(steps)
+			if lo > 0 && lo < ext {
+				cuts = append(cuts, lo)
+			}
+			if hi > 0 && hi < ext && hi > lo {
+				cuts = append(cuts, hi)
+			}
+		}
+		sLo[si], sHi[si] = lo, hi
+	}
+	spLo, spHi := 0, 0
+	if p.spillRegs > 0 {
+		spLo, spHi = linearAtLeast(tile, p.innerTileStep, p.spillFrom, ext)
+		if spLo > 0 && spLo < ext {
+			cuts = append(cuts, spLo)
+		}
+		if spHi > 0 && spHi < ext && spHi > spLo {
+			cuts = append(cuts, spHi)
+		}
+	}
+	if len(cuts) > 2 {
+		// Insertion sort: the cut list is tiny and mostly sorted.
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+	}
+	flops := uint64(p.bodyFLOPs)
+	var alu, branch, fma, loads, stores, guardBr, exits uint64
+	for ci := 0; ci+1 < len(cuts); ci++ {
+		a, b := cuts[ci], cuts[ci+1]
+		if a >= b || a < 0 || b > ext {
+			continue
+		}
+		n := uint64(b - a)
+		// Guard outcomes are constant across the span; a failing guard cuts
+		// the iteration after its own ALU+branch pair.
+		firstFail := -1
+		for gi := range gb {
+			if a < gLo[gi] || a >= gHi[gi] {
+				firstFail = gi
+				break
+			}
+		}
+		if firstFail >= 0 {
+			k := uint64(firstFail + 1)
+			alu += n * k
+			branch += n * k
+			guardBr += n * k
+			nInstr := 2 * k
+			alu += n // loop overhead (never unrolled here)
+			branch += n
+			nInstr += 2
+			c.pc = blockBase + nInstr*c.ib
+			if b == ext {
+				exits++
+			}
+			continue
+		}
+		ng := uint64(len(gb))
+		alu += n * ng
+		branch += n * ng
+		guardBr += n * ng
+		nInstr := 2 * ng
+		sites := c.loopRun.Sites[:0]
+		for si, site := range p.bodyLoads {
+			if site.CanOOB {
+				alu += n
+				branch += n
+				guardBr += n
+				nInstr += 2
+				if a < sLo[si] || a >= sHi[si] {
+					continue // padding: the load is skipped across the span
+				}
+			}
+			loads += n
+			nInstr++
+			sites = append(sites, LoopSite{
+				Addr: site.Tensor.AddrOf(eb[si] + a*p.innerElemStep[si]),
+				Step: int64(p.innerElemStep[si]) * tensor.ElemSize,
+				Size: tensor.ElemSize,
+			})
+		}
+		if p.spillRegs > 0 && a >= spLo && a < spHi {
+			slot := p.stackBase + uint64(tile+a*p.innerTileStep)*tensor.ElemSize
+			step := int64(p.innerTileStep) * tensor.ElemSize
+			loads += n
+			stores += n
+			nInstr += 2
+			// Stream order within an iteration: body loads, spill reload,
+			// FMA burst (no data), spill writeback.
+			sites = append(sites,
+				LoopSite{Addr: slot, Step: step, Size: tensor.ElemSize},
+				LoopSite{Addr: slot, Step: step, Size: tensor.ElemSize, Write: true})
+		}
+		fma += n * flops
+		nInstr += flops
+		alu += n // loop overhead
+		branch += n
+		nInstr += 2
+		if b == ext {
+			exits++
+		}
+		if len(sites) > 0 {
+			c.loopRun.Count = b - a
+			c.loopRun.Rows = 1
+			c.loopRun.Sites = sites
+			if len(c.em.buf) > 0 {
+				c.em.flush() // keep event/loop-run ordering
+			}
+			c.em.sink.ConsumeLoop(&c.loopRun)
+		} else {
+			c.loopRun.Sites = sites
+		}
+		c.pc = blockBase + nInstr*c.ib
+	}
+	c.vals[d] = ext - 1 // as the per-iteration loop leaves it
+	c.counts.ByClass[isa.ALU] += alu
+	c.counts.ByClass[isa.Branch] += branch
+	c.counts.ByClass[isa.FMA] += fma
+	c.counts.ByClass[isa.Load] += loads
+	c.counts.ByClass[isa.Store] += stores
+	c.counts.GuardBranches += guardBr
+	c.counts.LoopExits += exits
+}
+
+// linearBelow returns the sub-interval of [0,n) where base+i*step < bound.
+// Steps 0 and ±1 (the overwhelmingly common strides) avoid the division.
+func linearBelow(base, step, bound, n int) (int, int) {
+	switch {
+	case step == 0:
+		if base < bound {
+			return 0, n
+		}
+		return 0, 0
+	case step > 0:
+		if base >= bound {
+			return 0, 0
+		}
+		hi := bound - base
+		if step != 1 {
+			hi = (bound-1-base)/step + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		return 0, hi
+	default:
+		if base < bound {
+			return 0, n
+		}
+		lo := base - bound + 1
+		if step != -1 {
+			lo = (base-bound)/(-step) + 1
+		}
+		if lo > n {
+			lo = n
+		}
+		return lo, n
+	}
+}
+
+// linearAtLeast returns the sub-interval of [0,n) where base+i*step >= bound.
+func linearAtLeast(base, step, bound, n int) (int, int) {
+	switch {
+	case step == 0:
+		if base >= bound {
+			return 0, n
+		}
+		return 0, 0
+	case step > 0:
+		if base >= bound {
+			return 0, n
+		}
+		lo := bound - base
+		if step != 1 {
+			lo = (bound - base + step - 1) / step
+		}
+		if lo > n {
+			lo = n
+		}
+		return lo, n
+	default:
+		if base < bound {
+			return 0, 0
+		}
+		hi := base - bound + 1
+		if step != -1 {
+			hi = (base-bound)/(-step) + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		return 0, hi
+	}
+}
+
+// fetchSpan walks the fetch-line crossings of an n-instruction burst
+// starting at the current PC (without advancing it or counting classes).
+func (c *execCtx) fetchSpan(n int) {
+	if n <= 0 {
+		return
+	}
+	last := (c.pc + uint64(n-1)*c.ib) &^ 63
+	line := c.pc &^ 63
+	if line != c.lastLine {
+		c.em.emit(Event{Kind: EvFetch, PC: line})
+	}
+	for line < last {
+		line += 64
+		c.em.emit(Event{Kind: EvFetch, PC: line})
+	}
+	c.lastLine = line
 }
 
 // blockSize returns the total code size of level d's block (all copies).
@@ -94,6 +903,23 @@ func (c *execCtx) runLevel(d int, blockBase uint64) {
 		return
 	}
 	inner := d == len(p.levels)-1
+	if !c.compute && !c.perInstr && p.reduceStart < len(p.levels) {
+		// Hot paths: statistics-only execution of a reduction body. The
+		// strength-reduced loops emit a bit-identical stream (checked by
+		// TestBlockAggregationBitIdentical against the generic path below,
+		// which the per-instruction encoding always takes).
+		if inner {
+			c.runInnerScalarFast(d, lv, blockBase)
+			return
+		}
+		if d == len(p.levels)-2 && !p.levels[d+1].Vector && d+1 != p.reduceStart {
+			// Parent of the inner loop: hoist the inner affine bases out of
+			// this loop and advance them by the parent strides instead of
+			// re-evaluating them per iteration.
+			c.runParentOfInner(d, lv, blockBase)
+			return
+		}
+	}
 	for i := 0; i < lv.Extent; i++ {
 		c.vals[d] = i
 		iterBase := blockBase
@@ -254,9 +1080,7 @@ func (c *execCtx) scalarBody() {
 	if spilled {
 		c.mem(isa.Load, slot, tensor.ElemSize)
 	}
-	for f := 0; f < p.bodyFLOPs; f++ {
-		c.inst(isa.FMA, 0)
-	}
+	c.run(isa.FMA, p.bodyFLOPs)
 	if spilled {
 		c.mem(isa.Store, slot, tensor.ElemSize)
 	}
@@ -323,9 +1147,7 @@ func (c *execCtx) vectorBody(d, lanes int) {
 	if spilled {
 		c.mem(isa.VLoad, slot, vbytes)
 	}
-	for f := 0; f < p.bodyFLOPs; f++ {
-		c.inst(isa.VFMA, 0)
-	}
+	c.run(isa.VFMA, p.bodyFLOPs)
 	if spilled {
 		c.mem(isa.VStore, slot, vbytes)
 	}
@@ -367,9 +1189,7 @@ func (c *execCtx) vectorSpanInBounds(site *accessSite, d, lanes int) bool {
 // initBlock zeroes the accumulator registers at the entry of the reduction.
 func (c *execCtx) initBlock(basePC uint64) {
 	c.pc = basePC
-	for i := 0; i < c.p.accRegs; i++ {
-		c.inst(isa.ALU, 0)
-	}
+	c.run(isa.ALU, c.p.accRegs)
 	if c.compute {
 		for i := range c.acc {
 			c.acc[i] = c.p.Op.Init
@@ -424,9 +1244,7 @@ func (c *execCtx) storePoint(tileIdx int) {
 	if p.spillRegs > 0 && regIdx >= p.spillFrom {
 		c.mem(isa.Load, p.stackBase+uint64(tileIdx)*tensor.ElemSize, tensor.ElemSize)
 	}
-	for f := 0; f < p.epiFLOPs; f++ {
-		c.inst(isa.FMA, 0)
-	}
+	c.run(isa.FMA, p.epiFLOPs)
 	off := p.store.Elem.eval(c.vals)
 	c.mem(isa.Store, p.store.Tensor.AddrOf(off), tensor.ElemSize)
 	if c.compute {

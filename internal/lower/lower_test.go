@@ -382,16 +382,24 @@ func TestLoopExitFlags(t *testing.T) {
 			}
 		}
 	})
-	Execute(p, sink, false)
+	ExecutePerInstruction(p, sink, false)
 	// k exits: 16; j exits: 4; i exits: 1.
 	if exits != 21 {
 		t.Fatalf("loop exits = %d want 21", exits)
+	}
+	// The aggregated encoding reports the same tally through bulk counts.
+	agg := &CountingSink{}
+	Execute(p, agg, false)
+	if agg.LoopExits != 21 {
+		t.Fatalf("aggregated loop exits = %d want 21", agg.LoopExits)
 	}
 }
 
 type sinkFunc func([]Event)
 
-func (f sinkFunc) Consume(events []Event) { f(events) }
+func (f sinkFunc) Consume(events []Event)  { f(events) }
+func (f sinkFunc) ConsumeLoop(_ *LoopRun)  {}
+func (f sinkFunc) ConsumeCounts(_ *Counts) {}
 
 func TestFanoutDuplicates(t *testing.T) {
 	a, b := &CountingSink{}, &CountingSink{}

@@ -143,6 +143,27 @@ type Program struct {
 	// reconstruct the axis value from loop-level values.
 	axisTerms [][]coefTerm
 	numAxes   int
+
+	// Strength-reduction strides of the innermost level: per-iteration
+	// deltas of the inner guards' affines, each body load's element offset
+	// and tensor-dimension indices, and the tile index. The executor's fast
+	// inner loop advances these instead of re-evaluating affines per point.
+	innerGuardStep []int
+	innerElemStep  []int
+	innerDimStep   [][]int
+	// innerDimOff is the start of each body load's dims in the executor's
+	// flattened dim-base scratch; the last entry is the total dim count.
+	innerDimOff   []int
+	innerTileStep int
+	// The same strides w.r.t. the parent of the innermost level: the
+	// executor hoists the inner loop's affine bases out of the parent loop
+	// and advances them by these deltas per parent iteration.
+	parentGuardStep []int
+	parentElemStep  []int
+	parentDimStep   []int // flattened like innerDimOff
+	parentTileStep  int
+	// maxGuards is the largest per-level guard count (scratch sizing).
+	maxGuards int
 }
 
 // CodeBytes reports the static code footprint of the generated kernel, the

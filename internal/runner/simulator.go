@@ -65,7 +65,11 @@ func (r *SimulatorRunner) NParallel() int { return r.NPar }
 // own simulator instance, as in the paper's interface), then scored
 // sequentially in input order so window-based normalizers stay
 // deterministic. The simulator execution itself goes through the function
-// registry so users can override the backend, mirroring Listing 4.
+// registry so users can override the backend, mirroring Listing 4. The
+// default backend draws machines from the sim package's per-configuration
+// pool (sim.Acquire/sim.Release inside sim.Run), so a tuning run re-uses
+// n_parallel cache hierarchies via Reset() instead of allocating one per
+// candidate.
 func (r *SimulatorRunner) Run(inputs []MeasureInput, builds []BuildResult) []MeasureResult {
 	out := make([]MeasureResult, len(builds))
 	exec := func(b BuildResult) (*sim.Stats, error) {

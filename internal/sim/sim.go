@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -40,6 +41,9 @@ type Stats struct {
 	// LoopExits counts loop-termination branches (not exposed to the
 	// predictor; used by tests and diagnostics).
 	LoopExits uint64
+	// SinkEvents counts protocol events the machine consumed — a diagnostic
+	// for the block-aggregation ratio (events per instruction).
+	SinkEvents uint64
 	// Caches lists per-level counters in L1D, L1I, L2[, L3] order.
 	Caches []LevelStats
 	// SimWallSeconds is the host wall-clock time this simulation took
@@ -60,12 +64,13 @@ func (s *Stats) Cache(name string) (cache.Stats, bool) {
 // Machine is one simulator instance. It implements lower.Sink; feed it a
 // program execution and then read Stats. The paper runs many instances in
 // parallel (n_parallel); Machines are single-goroutine, so create one per
-// worker.
+// worker (or Acquire/Release pooled instances).
 type Machine struct {
 	model     isa.Model
 	hier      *cache.Hierarchy
 	instr     [isa.NumClasses]uint64
 	loopExits uint64
+	events    uint64
 	lastLine  uint64
 	haveLine  bool
 }
@@ -79,35 +84,63 @@ func New(arch isa.Arch, caches cache.HierarchyConfig) (*Machine, error) {
 	return &Machine{model: isa.Lookup(arch), hier: h}, nil
 }
 
-// Consume implements lower.Sink.
+// Consume implements lower.Sink. EvFetch and EvData events carry their cache
+// accesses directly; legacy EvInstr events additionally model the
+// instruction fetch at line granularity (sequential code re-uses the current
+// line; crossing a line or jumping fetches anew).
 func (m *Machine) Consume(events []lower.Event) {
+	m.events += uint64(len(events))
 	for i := range events {
 		e := &events[i]
-		m.instr[e.Class]++
-		// Instruction fetch at line granularity: sequential code re-uses
-		// the current line; crossing a line (or jumping) fetches anew.
-		line := e.PC &^ 63
-		if !m.haveLine || line != m.lastLine {
-			m.hier.Fetch(line, 1)
-			m.lastLine = line
-			m.haveLine = true
-		}
-		switch {
-		case e.Class.IsLoad():
-			m.hier.Data(e.Addr, uint32(e.Size), false)
-		case e.Class.IsStore():
-			m.hier.Data(e.Addr, uint32(e.Size), true)
-		case e.Class == isa.Branch:
-			if e.Flags&lower.FlagLoopExit != 0 {
-				m.loopExits++
+		switch e.Kind {
+		case lower.EvFetch:
+			m.hier.Fetch(e.PC, 1)
+		case lower.EvData:
+			m.hier.Data(e.Addr, uint32(e.Size), e.Class.IsStore())
+		default: // EvInstr
+			m.instr[e.Class]++
+			line := e.PC &^ 63
+			if !m.haveLine || line != m.lastLine {
+				m.hier.Fetch(line, 1)
+				m.lastLine = line
+				m.haveLine = true
+			}
+			switch {
+			case e.Class.IsLoad():
+				m.hier.Data(e.Addr, uint32(e.Size), false)
+			case e.Class.IsStore():
+				m.hier.Data(e.Addr, uint32(e.Size), true)
+			case e.Class == isa.Branch:
+				if e.Flags&lower.FlagLoopExit != 0 {
+					m.loopExits++
+				}
 			}
 		}
 	}
 }
 
+// ConsumeLoop implements lower.Sink: a uniform inner-loop span is replayed
+// as interleaved strided accesses, exactly as its per-event stream would
+// arrive (instruction classes arrive through ConsumeCounts). The replay
+// itself runs inside the cache package (Hierarchy.DataRun).
+func (m *Machine) ConsumeLoop(run *lower.LoopRun) {
+	m.events++
+	m.hier.DataRun(run.Count, run.Rows, run.Sites)
+}
+
+// ConsumeCounts implements lower.Sink: bulk per-class instruction counts of
+// the block-aggregated encoding are added arithmetically.
+func (m *Machine) ConsumeCounts(counts *lower.Counts) {
+	for cl, n := range counts.ByClass {
+		m.instr[cl] += n
+	}
+	m.loopExits += counts.LoopExits
+}
+
 // Stats snapshots the counters collected so far.
 func (m *Machine) Stats() *Stats {
-	s := &Stats{Arch: m.model.Arch, Instr: m.instr, LoopExits: m.loopExits}
+	s := &Stats{Arch: m.model.Arch, Instr: m.instr, LoopExits: m.loopExits,
+		SinkEvents: m.events}
 	for _, c := range m.instr {
 		s.Total += c
 	}
@@ -127,17 +160,53 @@ func (m *Machine) CheckInvariants() error { return m.hier.CheckStats() }
 func (m *Machine) Reset() {
 	m.instr = [isa.NumClasses]uint64{}
 	m.loopExits = 0
+	m.events = 0
 	m.haveLine = false
 	m.hier.Reset()
 }
 
-// Run executes a lowered program on a fresh simulator instance and returns
+// poolKey identifies a machine configuration for pooling.
+type poolKey struct {
+	arch   isa.Arch
+	caches cache.HierarchyConfig
+}
+
+// pools holds per-configuration free lists of reset machines, so repeated
+// candidate simulations (SimulatorRunner, dataset generation, benchmarks)
+// re-use cache hierarchies instead of allocating a fresh one per run.
+var pools sync.Map // poolKey -> *sync.Pool
+
+// Acquire returns a reset simulator for the configuration, re-using a pooled
+// instance when one is available. Release it after reading Stats.
+func Acquire(arch isa.Arch, caches cache.HierarchyConfig) (*Machine, error) {
+	key := poolKey{arch: arch, caches: caches}
+	if p, ok := pools.Load(key); ok {
+		if m, _ := p.(*sync.Pool).Get().(*Machine); m != nil {
+			return m, nil
+		}
+	}
+	return New(arch, caches)
+}
+
+// Release resets a machine and returns it to the configuration's pool.
+func Release(m *Machine) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	key := poolKey{arch: m.model.Arch, caches: m.hier.Cfg}
+	p, _ := pools.LoadOrStore(key, &sync.Pool{})
+	p.(*sync.Pool).Put(m)
+}
+
+// Run executes a lowered program on a pooled simulator instance and returns
 // its statistics, including the measured simulation wall time.
 func Run(p *lower.Program, caches cache.HierarchyConfig) (*Stats, error) {
-	m, err := New(p.Model.Arch, caches)
+	m, err := Acquire(p.Model.Arch, caches)
 	if err != nil {
 		return nil, err
 	}
+	defer Release(m)
 	start := time.Now()
 	lower.Execute(p, m, false)
 	stats := m.Stats()
