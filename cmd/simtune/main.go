@@ -1,18 +1,25 @@
 // Command simtune tunes one Conv2D+Bias+ReLU group end to end, either the
 // classic way (native measurement on the modelled target board) or the
 // paper's way (parallel instruction-accurate simulators plus a trained score
-// predictor), and prints the resulting best implementations.
+// predictor), and prints the resulting best implementations. It can also run
+// as the shared batch simulation server other tuning clients connect to.
 //
 // Examples:
 //
 //	simtune -arch riscv -group 1 -trials 64 -runner native
 //	simtune -arch riscv -group 3 -trials 200 -runner sim -predictor XGBoost
+//	simtune serve -addr :8070 -workers 8
+//	simtune -arch riscv -group 3 -trials 200 -runner sim -server http://tuner-farm:8070
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/ansor"
@@ -22,6 +29,7 @@ import (
 	"repro/internal/num"
 	"repro/internal/runner"
 	"repro/internal/schedule"
+	"repro/internal/service"
 	"repro/internal/te"
 
 	simtune "repro"
@@ -34,13 +42,46 @@ func main() {
 	}
 }
 
+// serve runs the batch simulation service until interrupted.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("simtune serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8070", "listen address")
+	archsFlag := fs.String("archs", "x86,arm,riscv", "comma-separated served architectures")
+	workers := fs.Int("workers", 4, "simulator instances per architecture shard")
+	cacheCap := fs.Int("cache-cap", 1<<18, "result cache capacity (entries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var archs []isa.Arch
+	for _, a := range strings.Split(*archsFlag, ",") {
+		arch, err := isa.ParseArch(strings.TrimSpace(a))
+		if err != nil {
+			return err
+		}
+		archs = append(archs, arch)
+	}
+	srv := service.NewServer(service.Config{
+		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("simtune serve: listening on %s (archs %v, %d workers/arch, cache cap %d)\n",
+		*addr, archs, *workers, *cacheCap)
+	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz\n", *addr, *addr)
+	return srv.ListenAndServe(ctx, *addr)
+}
+
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return serve(os.Args[2:])
+	}
 	archFlag := flag.String("arch", "riscv", "target architecture: x86|arm|riscv")
 	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
 	group := flag.Int("group", 1, "Table II conv group (0-4)")
 	trials := flag.Int("trials", 64, "candidates to evaluate")
 	runnerKind := flag.String("runner", "sim", "runner: native|sim|autotvm")
 	predName := flag.String("predictor", "XGBoost", "score predictor for -runner sim")
+	serverURL := flag.String("server", "", "simulate-service URL for -runner sim (e.g. http://tuner-farm:8070); empty = in-process simulators")
 	nPar := flag.Int("parallel", 4, "parallel simulator instances")
 	implsPerGroup := flag.Int("train-impls", 40, "training implementations per group for -runner sim")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -66,7 +107,7 @@ func run() error {
 		return tuneAutoTVM(prof, scale, *group, *trials, *seed, *topK, start)
 	case "sim":
 		return tuneSimulator(arch, scale, *group, *trials, *predName, *nPar,
-			*implsPerGroup, *seed, *topK, *cacheDir, start)
+			*implsPerGroup, *seed, *topK, *cacheDir, *serverURL, start)
 	}
 	return fmt.Errorf("unknown runner %q (want native|sim|autotvm)", *runnerKind)
 }
@@ -117,8 +158,9 @@ func tuneAutoTVM(prof hw.Profile, scale te.Scale, group, trials int, seed uint64
 }
 
 // tuneSimulator is the paper's flow: train a predictor, tune on simulators
-// only, then validate the top-K natively.
-func tuneSimulator(arch isa.Arch, scale te.Scale, group, trials int, predName string, nPar, implsPerGroup int, seed uint64, topK int, cacheDir string, start time.Time) error {
+// only, then validate the top-K natively. With serverURL the tuning batches
+// go to a shared simulate service instead of in-process simulators.
+func tuneSimulator(arch isa.Arch, scale te.Scale, group, trials int, predName string, nPar, implsPerGroup int, seed uint64, topK int, cacheDir, serverURL string, start time.Time) error {
 	trainGroups := []int{}
 	for gi := 0; gi < te.NumConvGroups; gi++ {
 		if gi != group {
@@ -134,12 +176,21 @@ func tuneSimulator(arch isa.Arch, scale te.Scale, group, trials int, predName st
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tuning group %d on %d parallel simulators (target board NOT used)...\n", group, nPar)
+	if serverURL != "" {
+		fmt.Printf("tuning group %d against simulate service %s (target board NOT used)...\n", group, serverURL)
+	} else {
+		fmt.Printf("tuning group %d on %d parallel simulators (target board NOT used)...\n", group, nPar)
+	}
 	records, err := model.TuneGroup(simtune.TuneGroupOptions{
-		Group: group, Trials: trials, NParallel: nPar,
+		Group: group, Trials: trials, NParallel: nPar, ServerURL: serverURL,
 	})
 	if err != nil {
 		return err
+	}
+	if serverURL != "" {
+		hits, misses, simSec := simtune.CacheStats(records)
+		fmt.Printf("service cache: %d hits / %d misses (%.0f%% absorbed), %.3f s simulated\n",
+			hits, misses, 100*float64(hits)/float64(max(1, hits+misses)), simSec)
 	}
 	top := simtune.TopK(records, topK)
 	fmt.Printf("top %d of %d candidates by predicted score:\n", len(top), len(records))

@@ -1,0 +1,71 @@
+// Simulation-as-a-service: start a batch simulate server, tune a kernel
+// group against it over HTTP, and watch the content-addressed result cache
+// absorb a second tuning run almost entirely.
+//
+// The same server would normally run standalone (`simtune serve -addr
+// :8070`) and be shared by many concurrent tuning clients; here it is
+// started in-process so the example is self-contained.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	simtune "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	// Start the simulate service on a loopback port. service.Local() is the
+	// same server without sockets, for direct in-process use.
+	srv := service.NewServer(service.Config{WorkersPerArch: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("simulate service listening on %s\n\n", url)
+
+	// Train a predictor as usual (the training phase measures on the
+	// modelled board, so it stays local), then tune through the service:
+	// candidates travel as step logs, are compiled and simulated
+	// server-side, and results come back bit-identical to in-process
+	// simulation.
+	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
+		Arch: simtune.RISCV, Scale: simtune.ScaleTiny, Predictor: "XGBoost",
+		Groups: []int{0, 1, 2}, ImplsPerGroup: 32, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tune := func(label string) {
+		records, err := model.TuneGroup(simtune.TuneGroupOptions{
+			Group: 3, Trials: 48, BatchSize: 12, ServerURL: url,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits, misses, simSec := simtune.CacheStats(records)
+		fmt.Printf("%s: %d candidates, cache %d hits / %d misses, %.3f s simulated server-side\n",
+			label, len(records), hits, misses, simSec)
+	}
+	tune("first tuning run ")
+	tune("second tuning run") // identical candidates: the cache absorbs it
+
+	st, err := service.NewClient(url).Statusz(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver statusz: %d requests, %d candidates, hit rate %.0f%%, %d cached results\n",
+		st.Requests, st.Candidates, 100*st.HitRate(), st.CacheEntries)
+	for _, sh := range st.Shards {
+		if sh.Simulated > 0 {
+			fmt.Printf("  shard %s: %d workers, %d simulations\n", sh.Arch, sh.Workers, sh.Simulated)
+		}
+	}
+}

@@ -51,6 +51,9 @@ type Record struct {
 	// runner provides it (see runner.MeasureResult).
 	TrueTimeSec float64
 	ElapsedSec  float64
+	// CacheHit marks candidates a simulate-service result cache absorbed:
+	// their Stats cost no simulation time (Eq. 4 bookkeeping).
+	CacheHit bool
 }
 
 // Options configure the search.
@@ -426,6 +429,7 @@ func (p *Policy) measure(batch []genome) {
 			Steps: stepsPer[i], Score: score, TimeSec: res.TimeSec,
 			Stats: res.Stats, Err: res.Err,
 			TrueTimeSec: res.TrueTimeSec, ElapsedSec: res.ElapsedSec,
+			CacheHit: res.CacheHit,
 		})
 		if !math.IsInf(score, 1) && !math.IsNaN(score) {
 			p.scored = append(p.scored, scoredGenome{g: batch[i], score: score})

@@ -33,6 +33,15 @@ type ExecutionOptions struct {
 	StaticW int
 	// Seed drives the search.
 	Seed uint64
+	// Runner overrides the default in-process SimulatorRunner — the
+	// multi-backend hook a service.ServiceRunner plugs into so tuning runs
+	// against a shared simulate server. When the runner implements
+	// runner.ScorerSetter the execution phase injects its windowed
+	// predictor scorer (both backends do).
+	Runner runner.Runner
+	// Builder overrides the default LocalBuilder; service backends compile
+	// server-side and pair with service.NopBuilder.
+	Builder runner.Builder
 }
 
 // ExecutionPhase tunes one group on simulators only, scoring candidates with
@@ -65,8 +74,40 @@ func ExecutionPhase(prof hw.Profile, pred predictor.Predictor, opt ExecutionOpti
 	aOpt.Trials = opt.Trials
 	aOpt.BatchSize = opt.BatchSize
 	aOpt.Builder = runner.LocalBuilder{Arch: prof.Arch}
-	aOpt.Runner = runner.NewSimulatorRunner(prof.Caches, opt.NParallel, scorer)
+	if opt.Builder != nil {
+		aOpt.Builder = opt.Builder
+	}
+	if opt.Runner != nil {
+		aOpt.Runner = opt.Runner
+		if ss, ok := opt.Runner.(runner.ScorerSetter); ok {
+			ss.SetScorer(scorer)
+		}
+	} else {
+		aOpt.Runner = runner.NewSimulatorRunner(prof.Caches, opt.NParallel, scorer)
+	}
 	return ansor.Search(factory, aOpt, num.NewRNG(opt.Seed))
+}
+
+// CacheStats aggregates the simulate-service cache bookkeeping of an
+// execution-phase run: how many candidates the result cache absorbed and the
+// simulation wall seconds actually spent (cache hits return the original
+// run's SimWallSeconds, which must not be double-counted). SimSec is the
+// honest T_sim numerator for the Eq. (4) break-even K once a cache absorbs
+// work; with the in-process backend every record is a miss and SimSec
+// degenerates to the plain sum.
+func CacheStats(records []ansor.Record) (hits, misses int, simSec float64) {
+	for _, r := range records {
+		if r.Err != nil || r.Stats == nil {
+			continue
+		}
+		if r.CacheHit {
+			hits++
+			continue
+		}
+		misses++
+		simSec += r.Stats.SimWallSeconds
+	}
+	return hits, misses, simSec
 }
 
 // TopK returns the k best-scored successful records (the candidates the

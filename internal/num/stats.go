@@ -211,3 +211,26 @@ func (s *Standardizer) TransformAll(rows [][]float64) [][]float64 {
 	}
 	return out
 }
+
+// NthPerm returns the i-th permutation of [0,l) in the factorial number
+// system's lexicographic order, so distinct i in [0, l!) give distinct
+// permutations (i wraps modulo l! beyond that). Tests and benchmarks use it
+// to enumerate arbitrarily many distinct loop orders deterministically.
+func NthPerm(i, l int) []int {
+	avail := make([]int, l)
+	fact := 1
+	for j := range avail {
+		avail[j] = j
+		if j > 0 {
+			fact *= j
+		}
+	}
+	perm := make([]int, 0, l)
+	for j := l - 1; j >= 1; j-- {
+		k := (i / fact) % (j + 1)
+		perm = append(perm, avail[k])
+		avail = append(avail[:k], avail[k+1:]...)
+		fact /= j
+	}
+	return append(perm, avail[0])
+}

@@ -1,6 +1,7 @@
 package num
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -138,5 +139,32 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNthPermDistinctAndValid(t *testing.T) {
+	const l = 4 // 4! = 24 permutations
+	seen := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		p := NthPerm(i, l)
+		if len(p) != l {
+			t.Fatalf("perm %d has length %d", i, len(p))
+		}
+		mask := make([]bool, l)
+		for _, v := range p {
+			if v < 0 || v >= l || mask[v] {
+				t.Fatalf("perm %d = %v is not a permutation", i, p)
+			}
+			mask[v] = true
+		}
+		key := fmt.Sprint(p)
+		if seen[key] {
+			t.Fatalf("perm %d = %v duplicates an earlier index", i, p)
+		}
+		seen[key] = true
+	}
+	// Beyond l! the sequence wraps.
+	if got, want := fmt.Sprint(NthPerm(24, l)), fmt.Sprint(NthPerm(0, l)); got != want {
+		t.Fatalf("NthPerm(24) = %s, want wrap to %s", got, want)
 	}
 }

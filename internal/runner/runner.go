@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -55,6 +56,12 @@ type MeasureResult struct {
 	// ElapsedSec is the wall-clock cost of the measurement including
 	// cooldowns (Eq. 4 bookkeeping).
 	ElapsedSec float64
+	// CacheHit marks results served from a simulate-service result cache
+	// rather than a fresh simulation. Eq. (4) break-even accounting must
+	// treat such measurements as free: their Stats (including
+	// SimWallSeconds) describe the original simulation, not work done for
+	// this candidate.
+	CacheHit bool
 }
 
 // Builder compiles measure inputs into runnable programs.
@@ -105,6 +112,56 @@ func (b LocalBuilder) Build(inputs []MeasureInput) []BuildResult {
 // preserving result order; it is the worker pool behind the simulator
 // runner's n_parallel semantics and is exported for other runners.
 func Parallel(n, count int, fn func(i int)) { runParallel(n, count, fn) }
+
+// ParallelCtx is Parallel with cancellation: once ctx is done no further
+// indices are dispatched and the call returns ctx.Err() after in-flight fn
+// calls finish (fn must observe ctx itself to abort mid-work). It always
+// drains its workers before returning, so callers never leak goroutines —
+// the property the simulate service relies on to abort batches on server
+// shutdown and client disconnect. A nil ctx behaves like Parallel.
+func ParallelCtx(ctx context.Context, n, count int, fn func(i int)) error {
+	if ctx == nil {
+		runParallel(n, count, fn)
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > count {
+		n = count
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	var err error
+	for i := 0; i < count && err == nil; i++ {
+		// Check Done with priority: when a worker is ready to receive AND
+		// ctx is done, a single select would pick either at random and
+		// could keep dispatching long after cancellation.
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			continue
+		default:
+		}
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	close(work)
+	wg.Wait()
+	return err
+}
 
 // runParallel executes fn over indices with at most n concurrent workers,
 // preserving result order.

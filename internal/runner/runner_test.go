@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"math"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -198,4 +200,50 @@ func TestRunParallelCoversAll(t *testing.T) {
 		}
 	}
 	runParallel(0, 0, func(int) {}) // degenerate: no panic
+}
+
+func TestParallelCtxCoversAllWhenNotCanceled(t *testing.T) {
+	var mask [50]int32
+	if err := ParallelCtx(context.Background(), 4, 50, func(i int) {
+		atomic.AddInt32(&mask[i], 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range mask {
+		if v != 1 {
+			t.Fatalf("index %d executed %d times", i, v)
+		}
+	}
+	if err := ParallelCtx(nil, 2, 3, func(int) {}); err != nil {
+		t.Fatalf("nil ctx must behave like Parallel: %v", err)
+	}
+}
+
+func TestParallelCtxStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ParallelCtx(ctx, 2, 1000, func(i int) {
+			atomic.AddInt32(&started, 1)
+			<-release
+		})
+	}()
+	// Wait until both workers hold an index, then cancel: no further
+	// indices may be dispatched and the call must return ctx.Err() after
+	// the in-flight ones finish.
+	for atomic.LoadInt32(&started) < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 2 workers were in flight; at most a few more could have been queued
+	// in the dispatch channel before cancel won the select.
+	if n := atomic.LoadInt32(&started); n > 5 {
+		t.Fatalf("%d indices dispatched after cancel", n)
+	}
 }

@@ -34,6 +34,14 @@ func (p *PredictorScorer) Score(st *sim.Stats) float64 {
 	return p.Pred.Predict(p.Norm.Vector(s))
 }
 
+// ScorerSetter is implemented by runners whose scoring the execution phase
+// configures after construction: core.ExecutionPhase builds the windowed
+// predictor scorer and injects it into whichever backend (in-process
+// SimulatorRunner or remote ServiceRunner) the options selected.
+type ScorerSetter interface {
+	SetScorer(Scorer)
+}
+
 // SimulatorRunner is the paper's SimulatorRunner (Listing 3): it executes
 // candidates on NPar parallel instruction-accurate simulator instances
 // instead of the target hardware and returns scores.
@@ -57,6 +65,9 @@ func NewSimulatorRunner(caches cache.HierarchyConfig, nParallel int, scorer Scor
 
 // Name implements Runner.
 func (r *SimulatorRunner) Name() string { return "simulator" }
+
+// SetScorer implements ScorerSetter.
+func (r *SimulatorRunner) SetScorer(s Scorer) { r.Scorer = s }
 
 // NParallel implements Runner.
 func (r *SimulatorRunner) NParallel() int { return r.NPar }

@@ -1,0 +1,62 @@
+package schedule
+
+import "encoding/binary"
+
+// canonicalVersion is the format version prefixed to every canonical
+// encoding. Bump it whenever the byte layout below changes: the version byte
+// flows into every content-addressed cache key, so a bump invalidates stale
+// caches instead of silently aliasing old and new encodings.
+const canonicalVersion = 1
+
+// Canonical returns a stable, self-delimiting binary encoding of a step log.
+// Unlike Fingerprint (a human-readable dedup string), the canonical form is
+// specified byte for byte and guaranteed stable across processes, platforms
+// and releases of the same version, so it can feed content-addressed result
+// caches (the simulate service hashes it into its cache key).
+//
+// Layout: version byte, uvarint step count, then per step a kind tag byte
+// (1 split, 2 reorder, 3 annotate; 0 escapes unknown kinds as a length-prefixed
+// kind string) followed by the step's fields as varints (signed, so negative
+// values that would fail Replay still encode unambiguously).
+func Canonical(steps []Step) []byte {
+	return AppendCanonical(make([]byte, 0, 2+8*len(steps)), steps)
+}
+
+// AppendCanonical appends the canonical encoding of steps to dst and returns
+// the extended slice (append-style, for callers that hash several fields).
+func AppendCanonical(dst []byte, steps []Step) []byte {
+	dst = append(dst, canonicalVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(steps)))
+	for _, st := range steps {
+		switch st.Kind {
+		case "split":
+			dst = append(dst, 1)
+			dst = binary.AppendVarint(dst, int64(st.Leaf))
+			dst = binary.AppendVarint(dst, int64(st.Factor))
+		case "reorder":
+			dst = append(dst, 2)
+			dst = binary.AppendUvarint(dst, uint64(len(st.Perm)))
+			for _, p := range st.Perm {
+				dst = binary.AppendVarint(dst, int64(p))
+			}
+		case "annotate":
+			dst = append(dst, 3)
+			dst = binary.AppendVarint(dst, int64(st.Leaf))
+			dst = binary.AppendVarint(dst, int64(st.Ann))
+		default:
+			// Unknown kinds (future step types) encode every field so two
+			// distinct steps can never alias.
+			dst = append(dst, 0)
+			dst = binary.AppendUvarint(dst, uint64(len(st.Kind)))
+			dst = append(dst, st.Kind...)
+			dst = binary.AppendVarint(dst, int64(st.Leaf))
+			dst = binary.AppendVarint(dst, int64(st.Factor))
+			dst = binary.AppendUvarint(dst, uint64(len(st.Perm)))
+			for _, p := range st.Perm {
+				dst = binary.AppendVarint(dst, int64(p))
+			}
+			dst = binary.AppendVarint(dst, int64(st.Ann))
+		}
+	}
+	return dst
+}

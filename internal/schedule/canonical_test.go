@@ -1,0 +1,107 @@
+package schedule
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/te"
+)
+
+// TestCanonicalGoldenHashes pins the canonical encoding byte for byte: the
+// sha256 of Canonical(log) must match hashes recorded when the v1 format was
+// defined. These constants are the cross-process stability guarantee behind
+// the simulate service's content-addressed cache keys — if this test fails,
+// the format changed and canonicalVersion must be bumped (which rewrites the
+// goldens deliberately instead of silently corrupting persisted caches).
+func TestCanonicalGoldenHashes(t *testing.T) {
+	golden := []struct {
+		name  string
+		steps []Step
+		hash  string
+	}{
+		{"empty", nil,
+			"47dc540c94ceb704a23875c11273e16bb0b8a87aed84de911f2133568115f254"},
+		{"split", []Step{{Kind: "split", Leaf: 0, Factor: 4}},
+			"8ae851f5123d07361fc01bc065372108122732042587f250f4b98392bbc62c8f"},
+		{"typical", []Step{
+			{Kind: "split", Leaf: 1, Factor: 8},
+			{Kind: "split", Leaf: 2, Factor: 2},
+			{Kind: "reorder", Perm: []int{0, 2, 4, 1, 3, 5}},
+			{Kind: "annotate", Leaf: 5, Ann: AnnVectorize},
+		},
+			"3802762a1c18e5c9e8598572d98e97354e176eba493273ed3a7c17fe6865ea4e"},
+		{"annotate-unroll", []Step{{Kind: "annotate", Leaf: 3, Ann: AnnUnroll}},
+			"8579ac01503e46741d1af018182669e728bf7c4a51f585e23937b52e6895a797"},
+	}
+	for _, g := range golden {
+		sum := sha256.Sum256(Canonical(g.steps))
+		if got := hex.EncodeToString(sum[:]); got != g.hash {
+			t.Errorf("%s: canonical hash %s, want golden %s", g.name, got, g.hash)
+		}
+	}
+}
+
+// TestCanonicalDistinct checks that structurally different logs never share
+// an encoding, including the field-boundary aliases a naive concatenation
+// would produce.
+func TestCanonicalDistinct(t *testing.T) {
+	logs := [][]Step{
+		nil,
+		{{Kind: "split", Leaf: 0, Factor: 4}},
+		{{Kind: "split", Leaf: 4, Factor: 0}},
+		{{Kind: "split", Leaf: 0, Factor: 4}, {Kind: "split", Leaf: 0, Factor: 4}},
+		{{Kind: "split", Leaf: 1, Factor: 4}},
+		{{Kind: "annotate", Leaf: 0, Ann: AnnUnroll}},
+		{{Kind: "annotate", Leaf: 0, Ann: AnnVectorize}},
+		{{Kind: "reorder", Perm: []int{0, 1}}},
+		{{Kind: "reorder", Perm: []int{1, 0}}},
+		{{Kind: "reorder", Perm: []int{1}}, {Kind: "reorder", Perm: []int{0}}},
+		{{Kind: "future-step", Leaf: 0, Factor: 4}},
+	}
+	seen := map[string]int{}
+	for i, steps := range logs {
+		enc := string(Canonical(steps))
+		if j, dup := seen[enc]; dup {
+			t.Errorf("logs %d and %d share one canonical encoding", i, j)
+		}
+		seen[enc] = i
+	}
+}
+
+// TestAppendCanonicalMatchesCanonical checks the append form is the same
+// bytes after an arbitrary prefix.
+func TestAppendCanonicalMatchesCanonical(t *testing.T) {
+	steps := []Step{
+		{Kind: "split", Leaf: 2, Factor: 16},
+		{Kind: "reorder", Perm: []int{2, 0, 1}},
+	}
+	got := AppendCanonical([]byte("prefix"), steps)
+	want := append([]byte("prefix"), Canonical(steps)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendCanonical = %x, want %x", got, want)
+	}
+}
+
+// TestCanonicalReplayedSchedule encodes a step log produced by real schedule
+// mutations (not hand-written literals) and checks replay-then-encode is
+// stable — the exact path the service takes server-side.
+func TestCanonicalReplayedSchedule(t *testing.T) {
+	op := te.MatMul(8, 8, 8).Op
+	s := New(op)
+	if _, _, err := s.Split(s.Leaves[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Vectorize(s.Leaves[len(s.Leaves)-1]); err != nil {
+		t.Fatal(err)
+	}
+	enc := Canonical(s.Steps)
+	r, err := Replay(op, s.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, Canonical(r.Steps)) {
+		t.Fatal("canonical encoding changed across Replay")
+	}
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/schedule"
+)
+
+// Key is the content address of one simulation result: a sha256 over the
+// architecture, its cache geometry, the workload signature and the canonical
+// schedule-step encoding. Everything that determines the (deterministic)
+// simulator statistics is in the hash; nothing else is.
+type Key [sha256.Size]byte
+
+// CacheKey computes the content address of a candidate. The geometry is
+// hashed explicitly (not just the arch name) so a profile change in a future
+// release cannot serve stale statistics for the old Table I parameters.
+func CacheKey(arch isa.Arch, caches cache.HierarchyConfig, wl WorkloadSpec, steps []schedule.Step) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "simsvc:v1\x00%s\x00", arch)
+	for _, lv := range []cache.Config{caches.L1D, caches.L1I, caches.L2, caches.L3} {
+		fmt.Fprintf(h, "%s:%d:%d:%d\x00", lv.Name, lv.SizeBytes, lv.LineBytes, lv.Assoc)
+	}
+	fmt.Fprintf(h, "%s\x00", wl.signature())
+	h.Write(schedule.Canonical(steps))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// flight is one in-progress computation other requests can wait on.
+type flight struct {
+	done chan struct{}
+}
+
+// resultCache is the content-addressed result store plus a singleflight
+// layer: concurrent requests for the same key — within one batch or across
+// clients — wait for the first computation instead of duplicating it.
+type resultCache struct {
+	mu       sync.Mutex
+	entries  map[Key]Result
+	inflight map[Key]*flight
+	capacity int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		entries:  make(map[Key]Result),
+		inflight: make(map[Key]*flight),
+		capacity: capacity,
+	}
+}
+
+// do returns the cached result for k, or computes it exactly once across all
+// concurrent callers. hit reports whether this caller was spared a
+// simulation (served from the map or from another caller's flight). compute
+// returns a non-nil error only for non-deterministic failures (cancellation)
+// — those are never cached; deterministic build/simulate failures travel
+// inside Result.Err and are cached like successes, since re-submitting a
+// broken candidate would fail identically.
+func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, error)) (r Result, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if r, ok := c.entries[k]; ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return r, true, nil
+		}
+		if f, ok := c.inflight[k]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				// The leader finished (or abandoned): loop to re-check the
+				// map and, if the leader was canceled, take over.
+				continue
+			case <-ctx.Done():
+				return Result{}, false, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[k] = f
+		c.mu.Unlock()
+
+		r, err := compute()
+		c.mu.Lock()
+		if err == nil {
+			c.store(k, r)
+		}
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return Result{}, false, err
+		}
+		c.misses.Add(1)
+		return r, false, nil
+	}
+}
+
+// store inserts under the capacity bound. Eviction is deliberately crude —
+// drop arbitrary entries (Go map iteration order) until under budget; a
+// content-addressed cache of deterministic results has no freshness to
+// preserve and refilling a dropped key costs one simulation.
+func (c *resultCache) store(k Key, r Result) {
+	if len(c.entries) >= c.capacity {
+		for victim := range c.entries {
+			delete(c.entries, victim)
+			if len(c.entries) < c.capacity {
+				break
+			}
+		}
+	}
+	c.entries[k] = r
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/runner"
+)
+
+// DefaultRequestTimeout bounds one batch request end to end when the caller
+// does not supply its own HTTPClient or context deadline. It is generous —
+// a cold paper-scale batch legitimately simulates for minutes — but finite,
+// so a wedged server or a network partition after connect fails the tune
+// instead of hanging it forever.
+const DefaultRequestTimeout = 10 * time.Minute
+
+// Client is the HTTP Backend: it talks to a remote `simtune serve` instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://tuner-farm:8070".
+	BaseURL string
+	// HTTPClient overrides the default client (DefaultRequestTimeout);
+	// set it to tighten or lift the per-request timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for a server base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// defaultHTTPClient is shared so connections are pooled across Clients.
+var defaultHTTPClient = &http.Client{Timeout: DefaultRequestTimeout}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+// Simulate implements Backend over POST /v1/simulate.
+func (c *Client) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	var resp SimulateResponse
+	if err := c.post(ctx, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(req.Candidates) {
+		return nil, fmt.Errorf("service: server returned %d results for %d candidates",
+			len(resp.Results), len(req.Candidates))
+	}
+	return &resp, nil
+}
+
+// Statusz implements Backend over GET /v1/statusz.
+func (c *Client) Statusz(ctx context.Context) (*Statusz, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/statusz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var st Statusz
+	if err := c.roundTrip(httpReq, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("service: encode request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(enc))
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(httpReq, out)
+}
+
+func (c *Client) roundTrip(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var wire struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &wire) == nil && wire.Error != "" {
+			return fmt.Errorf("service: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, wire.Error)
+		}
+		return fmt.Errorf("service: %s %s: %s", req.Method, req.URL.Path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decode response: %w", err)
+	}
+	return nil
+}
+
+// ServiceRunner is the client-side runner.Runner over a simulate Backend:
+// the drop-in replacement for runner.SimulatorRunner that lets
+// core.ExecutionPhase and simtune.TuneGroup tune against a shared remote
+// server (or an in-process Local() one) instead of private simulator
+// instances. Pair it with NopBuilder — candidates are compiled server-side
+// from their step logs, so client-side lowering would be wasted work.
+type ServiceRunner struct {
+	// Backend executes the batches (NewClient(...) or Local()).
+	Backend Backend
+	// Arch is the simulated target.
+	Arch isa.Arch
+	// Workload identifies the kernel instance being tuned.
+	Workload WorkloadSpec
+	// NPar is advertised as NParallel (informational; actual concurrency
+	// lives server-side in the arch shard).
+	NPar int
+	// Scorer converts statistics to scores; nil leaves Score = 0.
+	Scorer runner.Scorer
+	// Ctx, when set, bounds every batch (client-side deadline/cancel);
+	// nil means context.Background().
+	Ctx context.Context
+
+	hits, misses atomic.Uint64
+}
+
+// Name implements runner.Runner.
+func (r *ServiceRunner) Name() string { return "service[" + string(r.Arch) + "]" }
+
+// NParallel implements runner.Runner.
+func (r *ServiceRunner) NParallel() int {
+	if r.NPar < 1 {
+		return 1
+	}
+	return r.NPar
+}
+
+// SetScorer implements runner.ScorerSetter.
+func (r *ServiceRunner) SetScorer(s runner.Scorer) { r.Scorer = s }
+
+// CacheHits and CacheMisses report how many of this runner's candidates the
+// service served from its result cache — the client-side view of the Eq. (4)
+// bookkeeping (the server's statusz aggregates across all clients).
+func (r *ServiceRunner) CacheHits() uint64   { return r.hits.Load() }
+func (r *ServiceRunner) CacheMisses() uint64 { return r.misses.Load() }
+
+// Run implements runner.Runner: the batch travels as one SimulateRequest
+// (steps only — programs never cross the wire), results map back
+// index-aligned, then scoring runs sequentially in input order exactly like
+// the in-process SimulatorRunner so windowed normalizers stay deterministic
+// across backends.
+func (r *ServiceRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildResult) []runner.MeasureResult {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]runner.MeasureResult, len(inputs))
+	req := &SimulateRequest{
+		Arch:       string(r.Arch),
+		Workload:   r.Workload,
+		Candidates: make([]Candidate, 0, len(inputs)),
+	}
+	// Client-side build failures (only possible with a real Builder in
+	// front; NopBuilder never fails) are reported locally and skipped.
+	sent := make([]int, 0, len(inputs))
+	for i := range inputs {
+		if i < len(builds) && builds[i].Err != nil {
+			out[i] = runner.MeasureResult{Err: builds[i].Err, Score: math.Inf(1)}
+			continue
+		}
+		req.Candidates = append(req.Candidates, Candidate{Steps: inputs[i].Steps})
+		sent = append(sent, i)
+	}
+	if len(sent) > 0 {
+		resp, err := r.Backend.Simulate(ctx, req)
+		if err != nil {
+			for _, i := range sent {
+				out[i] = runner.MeasureResult{Err: err, Score: math.Inf(1)}
+			}
+		} else {
+			for j, i := range sent {
+				res := resp.Results[j]
+				if res.Err != "" {
+					out[i] = runner.MeasureResult{Err: errors.New(res.Err), Score: math.Inf(1)}
+					continue
+				}
+				if res.Stats == nil {
+					out[i] = runner.MeasureResult{
+						Err: errors.New("service: result has neither stats nor error"), Score: math.Inf(1)}
+					continue
+				}
+				if res.CacheHit {
+					r.hits.Add(1)
+				} else {
+					r.misses.Add(1)
+				}
+				out[i] = runner.MeasureResult{Stats: res.Stats, CacheHit: res.CacheHit}
+			}
+		}
+	}
+	if r.Scorer != nil {
+		for i := range out {
+			if out[i].Err == nil && out[i].Stats != nil {
+				out[i].Score = r.Scorer.Score(out[i].Stats)
+			}
+		}
+	}
+	return out
+}
+
+// NopBuilder implements runner.Builder by declining to compile: the
+// simulate service lowers candidates server-side from their step logs, so
+// the client ships no programs. Build results carry neither program nor
+// error; only ServiceRunner (which ignores Prog) understands them.
+type NopBuilder struct{}
+
+// Build implements runner.Builder.
+func (NopBuilder) Build(inputs []runner.MeasureInput) []runner.BuildResult {
+	return make([]runner.BuildResult, len(inputs))
+}

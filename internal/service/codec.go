@@ -1,0 +1,80 @@
+package service
+
+import (
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// SimulateRequest is the POST /v1/simulate body: one batch of candidate
+// schedules of a single (architecture, workload) pair — exactly the shape a
+// tuner's measurement batch has, so one auto-scheduler batch maps to one
+// request.
+type SimulateRequest struct {
+	// Arch is the target architecture ("x86"|"arm"|"riscv").
+	Arch string `json:"arch"`
+	// Workload identifies the kernel instance the steps apply to.
+	Workload WorkloadSpec `json:"workload"`
+	// Candidates are the schedules to simulate.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// Candidate is one schedule, identified by its replayable transform steps —
+// the same representation ansor records and schedule.Replay consumes, so a
+// step log measured remotely stays replayable locally (and vice versa).
+type Candidate struct {
+	Steps []schedule.Step `json:"steps"`
+}
+
+// SimulateResponse carries per-candidate results, index-aligned with the
+// request's candidates.
+type SimulateResponse struct {
+	Results []Result `json:"results"`
+}
+
+// Result is the outcome of one candidate: simulator statistics on success
+// (bit-identical to an in-process sim.Run of the same candidate — the stats
+// are deterministic, only SimWallSeconds reflects when the work actually
+// ran), or a deterministic build/simulation error. CacheHit marks results
+// served by the content-addressed cache; their simulation cost was zero.
+type Result struct {
+	Stats    *sim.Stats `json:"stats,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Err      string     `json:"err,omitempty"`
+}
+
+// Statusz is the GET /v1/statusz body: the server-side counters operators
+// (and the break-even analysis) watch — how much work the cache absorbed and
+// how loaded each shard is.
+type Statusz struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	// Requests counts simulate batches, Candidates individual candidates.
+	Requests   uint64 `json:"requests"`
+	Candidates uint64 `json:"candidates"`
+	// CacheHits/CacheMisses partition served candidates; Entries is the
+	// current cache size.
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	// Shards reports per-architecture worker pools.
+	Shards []ShardStatus `json:"shards"`
+}
+
+// HitRate returns the cache hit fraction over everything served so far.
+func (s *Statusz) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// ShardStatus is one architecture shard's load.
+type ShardStatus struct {
+	Arch    string `json:"arch"`
+	Workers int    `json:"workers"`
+	// Queued candidates are waiting for a worker slot; Running hold one.
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	// Simulated counts completed cold-path simulations.
+	Simulated uint64 `json:"simulated"`
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/ansor"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/schedule"
+	"repro/internal/te"
+)
+
+// stubPredictor is a deterministic stand-in for a trained score model: the
+// e2e test compares backends, not prediction quality, and training a real
+// predictor would only add minutes and noise sources.
+type stubPredictor struct{}
+
+func (stubPredictor) Name() string                     { return "stub" }
+func (stubPredictor) Fit([][]float64, []float64) error { return nil }
+func (stubPredictor) Predict(x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * float64(i%7+1)
+	}
+	return s
+}
+func (stubPredictor) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = stubPredictor{}.Predict(x[i])
+	}
+	return out
+}
+
+// TestEndToEndTuneThroughService is the acceptance path of the subsystem: a
+// full execution-phase tuning run through ServiceRunner against a live HTTP
+// server must produce records bit-identical to the in-process
+// SimulatorRunner — same schedules explored, same sim.Stats (modulo the
+// measured host wall time), same predictor scores — and re-running the same
+// tune against the same server must be served ≥ 99% from the result cache.
+func TestEndToEndTuneThroughService(t *testing.T) {
+	const (
+		group  = 1
+		trials = 24
+		seed   = 5
+	)
+	prof := hw.Lookup(isa.RISCV)
+	baseOpt := core.ExecutionOptions{
+		Scale: te.ScaleTiny, Group: group, Trials: trials, BatchSize: 8,
+		NParallel: 4, Seed: seed,
+	}
+
+	inproc, err := core.ExecutionPhase(prof, stubPredictor{}, baseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	tuneViaService := func() []ansor.Record {
+		opt := baseOpt
+		opt.Runner = &ServiceRunner{
+			Backend:  NewClient(hs.URL),
+			Arch:     isa.RISCV,
+			Workload: ConvGroupSpec(te.ScaleTiny, group),
+			NPar:     4,
+		}
+		opt.Builder = NopBuilder{}
+		recs, err := core.ExecutionPhase(prof, stubPredictor{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	remote := tuneViaService()
+	if len(remote) != len(inproc) {
+		t.Fatalf("service run measured %d records, in-process %d", len(remote), len(inproc))
+	}
+	for i, r := range inproc {
+		if r.Err != nil {
+			t.Fatalf("in-process record %d failed: %v", i, r.Err)
+		}
+		if remote[i].Err != nil {
+			t.Fatalf("service record %d failed: %v", i, remote[i].Err)
+		}
+		if schedule.Fingerprint(r.Steps) != schedule.Fingerprint(remote[i].Steps) {
+			t.Fatalf("record %d: search diverged (schedules differ)", i)
+		}
+		got, want := normalized(remote[i].Stats), normalized(r.Stats)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: stats not bit-identical:\n got %+v\nwant %+v", i, got, want)
+		}
+		if remote[i].Score != r.Score {
+			t.Fatalf("record %d: score %v != in-process %v", i, remote[i].Score, r.Score)
+		}
+	}
+
+	// Same tune, same server: the cache must absorb (essentially) all of it.
+	rerun := tuneViaService()
+	hits, misses, _ := core.CacheStats(rerun)
+	for i := range rerun {
+		if rerun[i].Score != remote[i].Score ||
+			schedule.Fingerprint(rerun[i].Steps) != schedule.Fingerprint(remote[i].Steps) {
+			t.Fatalf("record %d: cached re-run diverged", i)
+		}
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.99 {
+		t.Fatalf("re-run hit rate %.2f, want >= 0.99 (%d hits / %d misses)", rate, hits, misses)
+	}
+
+	// The client-side runner view and the server's statusz must agree that
+	// the second run cost (essentially) no simulations.
+	st, err := NewClient(hs.URL).Statusz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits == 0 || st.HitRate() == 0 {
+		t.Fatalf("server statusz saw no cache hits: %+v", st)
+	}
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/runner"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// shard is the worker pool of one architecture: a fixed number of simulator
+// slots shared by every concurrent batch targeting that arch. Slots are a
+// counting semaphore rather than resident goroutines — the expensive
+// resource, the simulator machine with its cache hierarchy, is pooled by
+// sim.Acquire inside sim.Run, so an idle shard holds no memory and a busy
+// one reuses the PR 1 machine pool. Per-arch sharding keeps one
+// architecture's backlog from starving the others.
+type shard struct {
+	prof    hw.Profile
+	builder runner.LocalBuilder
+	slots   chan struct{}
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	simulated atomic.Uint64
+}
+
+func newShard(prof hw.Profile, workers int) *shard {
+	return &shard{
+		prof:    prof,
+		builder: runner.LocalBuilder{Arch: prof.Arch},
+		slots:   make(chan struct{}, workers),
+	}
+}
+
+// exec compiles and simulates one candidate on a worker slot. The returned
+// error is non-nil only for cancellation (not cacheable); deterministic
+// build/simulate failures are folded into Result.Err so the cache can absorb
+// re-submissions of broken candidates too.
+//
+// Unlike SimulatorRunner.Run, exec deliberately does NOT consult the
+// SimulatorRunKey registry override (Listing 4): cached results must stay a
+// pure function of the cache key, and a process-local override would poison
+// a cache shared across clients. Custom simulator backends belong behind
+// their own Backend implementation instead.
+func (sh *shard) exec(ctx context.Context, factory runner.WorkloadFactory, steps []schedule.Step) (Result, error) {
+	sh.queued.Add(1)
+	select {
+	case sh.slots <- struct{}{}:
+		sh.queued.Add(-1)
+	case <-ctx.Done():
+		sh.queued.Add(-1)
+		return Result{}, ctx.Err()
+	}
+	sh.running.Add(1)
+	defer func() {
+		sh.running.Add(-1)
+		<-sh.slots
+	}()
+
+	build := sh.builder.Build([]runner.MeasureInput{{Factory: factory, Steps: steps}})[0]
+	if build.Err != nil {
+		return Result{Err: build.Err.Error()}, nil
+	}
+	st, err := sim.Run(build.Prog, sh.prof.Caches)
+	if err != nil {
+		return Result{Err: err.Error()}, nil
+	}
+	sh.simulated.Add(1)
+	return Result{Stats: st}, nil
+}
+
+// status snapshots the shard's load counters.
+func (sh *shard) status() ShardStatus {
+	return ShardStatus{
+		Arch:      string(sh.prof.Arch),
+		Workers:   cap(sh.slots),
+		Queued:    sh.queued.Load(),
+		Running:   sh.running.Load(),
+		Simulated: sh.simulated.Load(),
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/runner"
+)
+
+// maxRequestBytes bounds a simulate request body (a 10k-candidate batch of
+// long step logs stays well under 1 MB; 64 MB leaves headroom without
+// letting one client exhaust server memory).
+const maxRequestBytes = 64 << 20
+
+// Server is the batch simulation service: per-arch worker shards behind one
+// content-addressed result cache. It implements Backend directly, which is
+// the Local() in-process mode; Handler exposes the same operations over
+// HTTP.
+type Server struct {
+	cfg    Config
+	shards map[isa.Arch]*shard
+	cache  *resultCache
+	start  time.Time
+
+	requests   atomic.Uint64
+	candidates atomic.Uint64
+}
+
+// NewServer builds a server from the configuration.
+func NewServer(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:    cfg,
+		shards: make(map[isa.Arch]*shard, len(cfg.Archs)),
+		cache:  newResultCache(cfg.CacheCapacity),
+		start:  time.Now(),
+	}
+	for _, arch := range cfg.Archs {
+		s.shards[arch] = newShard(hw.Lookup(arch), cfg.WorkersPerArch)
+	}
+	return s
+}
+
+// Local returns an in-process server with default configuration — the
+// no-sockets Backend used by tests, examples and single-machine tuning.
+// In-process callers share cached Result values; treat Stats as read-only.
+func Local() *Server { return NewServer(Config{}) }
+
+// Simulate implements Backend: every candidate is served from the result
+// cache when possible and otherwise compiled and simulated on the arch's
+// shard, at most WorkersPerArch concurrently per batch. Duplicate candidates
+// — within the batch or racing with other clients — are simulated once and
+// shared through the singleflight layer. Cancelling ctx (server shutdown,
+// client disconnect) stops dispatching, lets in-flight simulations finish
+// into the cache, and returns the context error.
+func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	arch, err := isa.ParseArch(req.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	sh, ok := s.shards[arch]
+	if !ok {
+		return nil, fmt.Errorf("service: arch %s not served (configured: %v)", arch, s.cfg.Archs)
+	}
+	factory, err := req.Workload.Factory()
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	s.candidates.Add(uint64(len(req.Candidates)))
+
+	results := make([]Result, len(req.Candidates))
+	perr := runner.ParallelCtx(ctx, s.cfg.WorkersPerArch, len(req.Candidates), func(i int) {
+		steps := req.Candidates[i].Steps
+		key := CacheKey(arch, sh.prof.Caches, req.Workload, steps)
+		r, hit, err := s.cache.do(ctx, key, func() (Result, error) {
+			return sh.exec(ctx, factory, steps)
+		})
+		if err != nil {
+			results[i] = Result{Err: "canceled: " + err.Error()}
+			return
+		}
+		r.CacheHit = hit
+		results[i] = r
+	})
+	if perr != nil {
+		return nil, fmt.Errorf("service: batch aborted: %w", perr)
+	}
+	return &SimulateResponse{Results: results}, nil
+}
+
+// Statusz implements Backend.
+func (s *Server) Statusz(context.Context) (*Statusz, error) {
+	st := &Statusz{
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Requests:     s.requests.Load(),
+		Candidates:   s.candidates.Load(),
+		CacheHits:    s.cache.hits.Load(),
+		CacheMisses:  s.cache.misses.Load(),
+		CacheEntries: s.cache.len(),
+	}
+	for _, arch := range s.cfg.Archs {
+		st.Shards = append(st.Shards, s.shards[arch].status())
+	}
+	return st, nil
+}
+
+// Handler returns the HTTP surface of the server:
+//
+//	POST /v1/simulate — SimulateRequest in, SimulateResponse out
+//	GET  /v1/statusz  — Statusz out
+//
+// Requests run under the HTTP request context, so a disconnecting client
+// aborts its own batch's undispatched work.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	return mux
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SimulateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	resp, err := s.Simulate(r.Context(), &req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			// The client is gone; the status is moot but 499-style intent
+			// should not read as a server fault in logs.
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st, err := s.Statusz(r.Context())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, st)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// ListenAndServe runs the HTTP server until ctx is cancelled, then shuts
+// down. Request contexts derive from ctx (BaseContext), so cancelling it
+// aborts in-flight batches too: ParallelCtx stops dispatching, the
+// already-running simulations drain into the cache, handlers return, and
+// Shutdown completes — Shutdown alone would wait out active handlers
+// without ever cancelling them.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	httpSrv := &http.Server{
+		Addr:        addr,
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutdownCtx)
+	}
+}

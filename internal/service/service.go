@@ -1,0 +1,145 @@
+// Package service turns the in-process simulator library into
+// simulation-as-a-service: a long-running batch server that accepts
+// candidate schedules over an HTTP/JSON API, compiles them with
+// runner.LocalBuilder, fans them out over sharded per-architecture worker
+// pools built on the pooled sim.Acquire machines, and fronts everything with
+// a content-addressed result cache — so identical candidates re-proposed
+// across tuning runs and across clients cost a map lookup instead of a
+// simulation.
+//
+// The paper's Contribution I replaces target boards with simulator
+// instances behind TVM's builder/runner interface (§III-A, Listing 3);
+// this package is the next scaling step of that idea: many concurrent
+// tuning clients share one fleet of simulator workers and one result
+// cache. Simulations are deterministic functions of
+// (architecture, workload, schedule steps), which makes results perfectly
+// content-addressable: the cache key is a sha256 over the architecture,
+// its Table I cache geometry, the workload signature, and the canonical
+// step encoding (schedule.Canonical).
+//
+// API surface:
+//
+//	POST /v1/simulate  — batched candidates in, per-candidate stats out
+//	GET  /v1/statusz   — queue, cache and worker metrics
+//
+// Three ways to consume it:
+//
+//   - Local(): an in-process *Server used directly as a Backend
+//     (no sockets) — tests, examples, single-machine tuning.
+//   - NewClient(baseURL): the HTTP client for a remote `simtune serve`.
+//   - ServiceRunner: a runner.Runner adapter over either, so
+//     core.ExecutionPhase and simtune.TuneGroup transparently tune
+//     against the service instead of in-process simulators.
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/runner"
+	"repro/internal/te"
+)
+
+// Backend executes simulation batches. *Server implements it in-process;
+// *Client implements it over HTTP. ServiceRunner and all higher layers only
+// see this interface, which is what makes the in-process and remote
+// backends interchangeable.
+type Backend interface {
+	// Simulate executes (or serves from cache) every candidate of the
+	// request. A non-nil error means the batch as a whole failed
+	// (transport, unknown arch/workload, cancellation); per-candidate
+	// failures travel inside Result.Err.
+	Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error)
+	// Statusz reports server metrics.
+	Statusz(ctx context.Context) (*Statusz, error)
+}
+
+// Config sizes a Server.
+type Config struct {
+	// Archs lists the served architectures (default: all three targets).
+	// Each arch gets its own worker shard so a flood of RISC-V batches
+	// cannot starve x86 clients.
+	Archs []isa.Arch
+	// WorkersPerArch is the simulator parallelism per shard (default 4 —
+	// the paper's n_parallel default).
+	WorkersPerArch int
+	// CacheCapacity bounds the result cache entry count (default 1<<18).
+	CacheCapacity int
+}
+
+func (c *Config) defaults() {
+	if len(c.Archs) == 0 {
+		c.Archs = isa.Archs()
+	}
+	if c.WorkersPerArch <= 0 {
+		c.WorkersPerArch = 4
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 1 << 18
+	}
+}
+
+// WorkloadSpec is the wire-level workload signature: enough for the server
+// to reconstruct the workload from scratch (closures cannot travel over
+// JSON) and stable enough to hash into cache keys.
+type WorkloadSpec struct {
+	// Kind selects the kernel type: "conv_group" (default) or "matmul".
+	Kind string `json:"kind"`
+	// Scale and Group identify a Table II conv group (conv_group kind).
+	Scale string `json:"scale,omitempty"`
+	Group int    `json:"group,omitempty"`
+	// Dims are the matmul [n, l, m] extents (matmul kind).
+	Dims []int `json:"dims,omitempty"`
+}
+
+// ConvGroupSpec is the signature of a Table II Conv2D+Bias+ReLU group.
+func ConvGroupSpec(scale te.Scale, group int) WorkloadSpec {
+	return WorkloadSpec{Kind: "conv_group", Scale: string(scale), Group: group}
+}
+
+// MatMulSpec is the signature of an n×l · l×m matmul workload.
+func MatMulSpec(n, l, m int) WorkloadSpec {
+	return WorkloadSpec{Kind: "matmul", Dims: []int{n, l, m}}
+}
+
+// Factory resolves the spec into a workload factory, validating it fully so
+// a malformed request fails the batch up front instead of panicking a
+// worker.
+func (w WorkloadSpec) Factory() (runner.WorkloadFactory, error) {
+	switch w.Kind {
+	case "", "conv_group":
+		scale, err := te.ParseScale(w.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("service: workload: %w", err)
+		}
+		if w.Group < 0 || w.Group >= te.NumConvGroups {
+			return nil, fmt.Errorf("service: workload: group %d out of range [0,%d)",
+				w.Group, te.NumConvGroups)
+		}
+		group := w.Group
+		return func() *te.Workload { return te.ConvGroup(scale, group) }, nil
+	case "matmul":
+		if len(w.Dims) != 3 {
+			return nil, fmt.Errorf("service: workload: matmul wants 3 dims, got %d", len(w.Dims))
+		}
+		n, l, m := w.Dims[0], w.Dims[1], w.Dims[2]
+		if n <= 0 || l <= 0 || m <= 0 {
+			return nil, fmt.Errorf("service: workload: matmul dims must be positive, got %v", w.Dims)
+		}
+		return func() *te.Workload { return te.MatMul(n, l, m) }, nil
+	}
+	return nil, fmt.Errorf("service: workload: unknown kind %q (want conv_group|matmul)", w.Kind)
+}
+
+// signature renders the canonical identity string hashed into cache keys.
+// It must stay injective over valid specs and stable across releases.
+func (w WorkloadSpec) signature() string {
+	switch w.Kind {
+	case "", "conv_group":
+		return fmt.Sprintf("conv_group/%s/%d", w.Scale, w.Group)
+	case "matmul":
+		return fmt.Sprintf("matmul/%v", w.Dims)
+	}
+	return fmt.Sprintf("%s/%s/%d/%v", w.Kind, w.Scale, w.Group, w.Dims)
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/num"
 	"repro/internal/predictor"
 	"repro/internal/predictor/registry"
+	"repro/internal/service"
 	"repro/internal/te"
 )
 
@@ -211,6 +212,14 @@ type TuneGroupOptions struct {
 	Window string
 	// Seed drives the search (default: training seed + 1).
 	Seed uint64
+	// ServerURL switches the backend from in-process simulators to a
+	// remote simulate service ("simtune serve"), e.g.
+	// "http://tuner-farm:8070". Candidates then travel as step logs, are
+	// compiled and simulated server-side, and identical candidates — from
+	// this run or any other client — are served from the server's
+	// content-addressed result cache. Statistics are bit-identical to the
+	// in-process backend.
+	ServerURL string
 }
 
 // TuneGroup runs the execution phase of Fig. 4-II: simulator-only tuning of
@@ -225,11 +234,28 @@ func (m *TrainedModel) TuneGroup(opts TuneGroupOptions) ([]Record, error) {
 	if opts.Seed == 0 {
 		opts.Seed = m.opts.Seed + 1
 	}
-	return core.ExecutionPhase(hw.Lookup(m.Arch), m.Pred, core.ExecutionOptions{
+	eOpt := core.ExecutionOptions{
 		Scale: m.Scale, Group: opts.Group, Trials: opts.Trials,
 		BatchSize: opts.BatchSize, NParallel: opts.NParallel,
 		Window: opts.Window, Seed: opts.Seed,
-	})
+	}
+	if opts.ServerURL != "" {
+		eOpt.Runner = &service.ServiceRunner{
+			Backend:  service.NewClient(opts.ServerURL),
+			Arch:     m.Arch,
+			Workload: service.ConvGroupSpec(m.Scale, opts.Group),
+			NPar:     opts.NParallel,
+		}
+		eOpt.Builder = service.NopBuilder{}
+	}
+	return core.ExecutionPhase(hw.Lookup(m.Arch), m.Pred, eOpt)
+}
+
+// CacheStats aggregates simulate-service cache bookkeeping over tuning
+// records: cache hits, misses, and the simulation wall seconds actually
+// spent (hits are free). With the in-process backend every record is a miss.
+func CacheStats(records []Record) (hits, misses int, simSec float64) {
+	return core.CacheStats(records)
 }
 
 // ValidateOnTarget re-measures the given records "natively" (on the timing
