@@ -12,6 +12,7 @@ package simtune_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"strings"
@@ -308,6 +309,62 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
 	})
+}
+
+// BenchmarkRouterThroughput measures the consistent-hash routing tier on the
+// cache-hit path — the multi-node half of the BenchmarkServiceThroughput
+// story. Parallel clients re-submit a primed 32-candidate batch; "direct" is
+// the PR 2 single-node backend under the same parallel load, "1node" adds
+// the routing tier in front of one node (its overhead: per-candidate key
+// hashing and fan-out assembly), and "3node" shards the key space across
+// three nodes so concurrent batches stop contending on a single cache map.
+// Backends are in-process (no HTTP), isolating the routing machinery itself.
+func BenchmarkRouterThroughput(b *testing.B) {
+	const batch = 32
+	req := &service.SimulateRequest{
+		Arch:       "riscv",
+		Workload:   service.ConvGroupSpec(te.ScaleSmall, 1),
+		Candidates: serviceBenchBatch(b, batch),
+	}
+	cfg := service.Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4}
+	ctx := context.Background()
+
+	hitPath := func(b *testing.B, backend service.Backend) {
+		if _, err := backend.Simulate(ctx, req); err != nil { // prime every owner
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := backend.Simulate(ctx, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r := resp.Results[0]; r.Err != "" || !r.CacheHit {
+					b.Fatalf("hot path missed: %+v", r)
+				}
+			}
+		})
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
+	}
+	router := func(nodes int) *service.Router {
+		ids := make([]string, nodes)
+		backends := make([]service.Backend, nodes)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("node-%d", i)
+			backends[i] = service.NewServer(cfg)
+		}
+		rt, err := service.NewRouterBackends(ids, backends, service.RouterConfig{ProbeInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rt
+	}
+
+	b.Run("hit-direct", func(b *testing.B) { hitPath(b, service.NewServer(cfg)) })
+	b.Run("hit-1node", func(b *testing.B) { hitPath(b, router(1)) })
+	b.Run("hit-3node", func(b *testing.B) { hitPath(b, router(3)) })
 }
 
 // BenchmarkTimingModel measures the cycle-approximate back-end.

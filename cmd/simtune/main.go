@@ -2,14 +2,17 @@
 // classic way (native measurement on the modelled target board) or the
 // paper's way (parallel instruction-accurate simulators plus a trained score
 // predictor), and prints the resulting best implementations. It can also run
-// as the shared batch simulation server other tuning clients connect to.
+// as the shared batch simulation server other tuning clients connect to, or
+// as a consistent-hash router sharding the cache key space across several
+// such servers.
 //
 // Examples:
 //
 //	simtune -arch riscv -group 1 -trials 64 -runner native
 //	simtune -arch riscv -group 3 -trials 200 -runner sim -predictor XGBoost
 //	simtune serve -addr :8070 -workers 8
-//	simtune -arch riscv -group 3 -trials 200 -runner sim -server http://tuner-farm:8070
+//	simtune route -addr :8060 -nodes http://sim-0:8070,http://sim-1:8070,http://sim-2:8070
+//	simtune -arch riscv -group 3 -trials 200 -runner sim -server http://tuner-farm:8060
 package main
 
 import (
@@ -71,9 +74,50 @@ func serve(args []string) error {
 	return srv.ListenAndServe(ctx, *addr)
 }
 
+// route runs the consistent-hash routing tier over N simulate servers until
+// interrupted. The router speaks the exact wire protocol of a single server,
+// so clients point -server at it unchanged; each cache key lives on exactly
+// one node and a down node's key range drains to its ring successors.
+func route(args []string) error {
+	fs := flag.NewFlagSet("simtune route", flag.ExitOnError)
+	addr := fs.String("addr", ":8060", "listen address")
+	nodesFlag := fs.String("nodes", "", "comma-separated backend server URLs (required), e.g. http://sim-0:8070,http://sim-1:8070")
+	replicas := fs.Int("replicas", 0, "virtual nodes per backend on the hash ring (default 128)")
+	probe := fs.Duration("probe", 2*time.Second, "health-probe interval (a recovered node rejoins within one interval)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("route: -nodes is required (comma-separated simulate-server URLs)")
+	}
+	rt, err := service.NewRouter(service.RouterConfig{
+		Nodes: nodes, Replicas: *replicas, ProbeInterval: *probe,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("simtune route: listening on %s, sharding across %d nodes:\n", *addr, len(nodes))
+	for _, n := range nodes {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz (aggregated)\n", *addr, *addr)
+	return rt.ListenAndServe(ctx, *addr)
+}
+
 func run() error {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		return serve(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "route" {
+		return route(os.Args[2:])
 	}
 	archFlag := flag.String("arch", "riscv", "target architecture: x86|arm|riscv")
 	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")
@@ -81,7 +125,7 @@ func run() error {
 	trials := flag.Int("trials", 64, "candidates to evaluate")
 	runnerKind := flag.String("runner", "sim", "runner: native|sim|autotvm")
 	predName := flag.String("predictor", "XGBoost", "score predictor for -runner sim")
-	serverURL := flag.String("server", "", "simulate-service URL for -runner sim (e.g. http://tuner-farm:8070); empty = in-process simulators")
+	serverURL := flag.String("server", "", "simulate-service URL for -runner sim — a `simtune serve` node or a `simtune route` router, the protocol is identical (e.g. http://tuner-farm:8070); empty = in-process simulators")
 	nPar := flag.Int("parallel", 4, "parallel simulator instances")
 	implsPerGroup := flag.Int("train-impls", 40, "training implementations per group for -runner sim")
 	seed := flag.Uint64("seed", 1, "random seed")

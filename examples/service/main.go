@@ -1,10 +1,13 @@
-// Simulation-as-a-service: start a batch simulate server, tune a kernel
-// group against it over HTTP, and watch the content-addressed result cache
+// Simulation-as-a-service, scaled out: start three batch simulate servers,
+// put a consistent-hash router in front of them, tune a kernel group through
+// the router over HTTP, and watch the sharded content-addressed caches
 // absorb a second tuning run almost entirely.
 //
-// The same server would normally run standalone (`simtune serve -addr
-// :8070`) and be shared by many concurrent tuning clients; here it is
-// started in-process so the example is self-contained.
+// In production the nodes run standalone (`simtune serve -addr :8070`) on
+// separate machines and the router (`simtune route -nodes=...`) fronts them
+// for any number of concurrent tuning clients; here everything is started
+// in-process so the example is self-contained. A single node without the
+// router works identically — the wire protocol is the same at every tier.
 package main
 
 import (
@@ -18,22 +21,42 @@ import (
 	"repro/internal/service"
 )
 
-func main() {
-	// Start the simulate service on a loopback port. service.Local() is the
-	// same server without sockets, for direct in-process use.
-	srv := service.NewServer(service.Config{WorkersPerArch: 4})
+// listen serves h on a loopback port and returns its base URL.
+func listen(h http.Handler) string {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
-	url := "http://" + ln.Addr().String()
-	fmt.Printf("simulate service listening on %s\n\n", url)
+	go func() { _ = http.Serve(ln, h) }()
+	return "http://" + ln.Addr().String()
+}
+
+func main() {
+	// Three simulate-server nodes. Each key of the sha256 cache-key space
+	// will live on exactly one of them, so concurrent clients dedupe
+	// globally: the fleet never simulates the same candidate twice.
+	var nodeURLs []string
+	for i := 0; i < 3; i++ {
+		node := service.NewServer(service.Config{WorkersPerArch: 2})
+		nodeURLs = append(nodeURLs, listen(node.Handler()))
+	}
+
+	// The routing tier: consistent-hashes each candidate's cache key to its
+	// owning node, fans sub-batches out, re-assembles results index-aligned,
+	// and health-probes the nodes (a down node's keys drain to its ring
+	// successors). Clients cannot tell it from a single server.
+	rt, err := service.NewRouter(service.RouterConfig{Nodes: nodeURLs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	routerURL := listen(rt.Handler())
+	fmt.Printf("3 simulate nodes behind router %s\n\n", routerURL)
 
 	// Train a predictor as usual (the training phase measures on the
-	// modelled board, so it stays local), then tune through the service:
-	// candidates travel as step logs, are compiled and simulated
-	// server-side, and results come back bit-identical to in-process
+	// modelled board, so it stays local), then tune through the router:
+	// candidates travel as step logs, are compiled and simulated on their
+	// owning node, and results come back bit-identical to in-process
 	// simulation.
 	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
 		Arch: simtune.RISCV, Scale: simtune.ScaleTiny, Predictor: "XGBoost",
@@ -45,7 +68,7 @@ func main() {
 
 	tune := func(label string) {
 		records, err := model.TuneGroup(simtune.TuneGroupOptions{
-			Group: 3, Trials: 48, BatchSize: 12, ServerURL: url,
+			Group: 3, Trials: 48, BatchSize: 12, ServerURL: routerURL,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -55,17 +78,17 @@ func main() {
 			label, len(records), hits, misses, simSec)
 	}
 	tune("first tuning run ")
-	tune("second tuning run") // identical candidates: the cache absorbs it
+	tune("second tuning run") // identical candidates: the sharded caches absorb it
 
-	st, err := service.NewClient(url).Statusz(context.Background())
+	// The router's statusz aggregates the fleet: summed cache counters plus
+	// a per-node breakdown showing how the key space split.
+	st, err := service.NewClient(routerURL).Statusz(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nserver statusz: %d requests, %d candidates, hit rate %.0f%%, %d cached results\n",
+	fmt.Printf("\nrouter statusz: %d requests, %d candidates, hit rate %.0f%%, %d cached results across the fleet\n",
 		st.Requests, st.Candidates, 100*st.HitRate(), st.CacheEntries)
-	for _, sh := range st.Shards {
-		if sh.Simulated > 0 {
-			fmt.Printf("  shard %s: %d workers, %d simulations\n", sh.Arch, sh.Workers, sh.Simulated)
-		}
+	for _, n := range st.Nodes {
+		fmt.Printf("  node %s: up=%v, %d candidates routed\n", n.ID, n.Up, n.Candidates)
 	}
 }

@@ -50,6 +50,12 @@ type resultCache struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// canceled counts do() calls that returned with a context error instead
+	// of a result — leaders whose compute was canceled and waiters whose
+	// context died mid-flight. Without it, hits+misses undercounts served
+	// candidates (requests/candidates keep counting), and the Eq. (4)
+	// CacheStats accounting drifts on every aborted batch.
+	canceled atomic.Uint64
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -83,6 +89,7 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 				// map and, if the leader was canceled, take over.
 				continue
 			case <-ctx.Done():
+				c.canceled.Add(1)
 				return Result{}, false, ctx.Err()
 			}
 		}
@@ -99,6 +106,7 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 		c.mu.Unlock()
 		close(f.done)
 		if err != nil {
+			c.canceled.Add(1)
 			return Result{}, false, err
 		}
 		c.misses.Add(1)

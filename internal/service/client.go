@@ -92,22 +92,37 @@ func (c *Client) roundTrip(req *http.Request, out any) error {
 	if err != nil {
 		return fmt.Errorf("service: %s %s: %w", req.Method, req.URL.Path, err)
 	}
-	defer resp.Body.Close()
+	// Drain whatever the handlers below leave unread before closing: a
+	// partially-read body makes net/http tear the pooled connection down
+	// instead of reusing it, which under a router's fan-out turns every
+	// error (and every decode hiccup) into connection churn. The limit
+	// bounds how much we are willing to read just to save a dial.
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorDrainBytes))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		se := &Error{Status: resp.StatusCode, Msg: resp.Status}
 		var wire struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(msg, &wire) == nil && wire.Error != "" {
-			return fmt.Errorf("service: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, wire.Error)
+			se.Msg = resp.Status + ": " + wire.Error
 		}
-		return fmt.Errorf("service: %s %s: %s", req.Method, req.URL.Path, resp.Status)
+		// Wrap the typed error so callers (the router's failover logic
+		// foremost) can recover the 4xx/5xx classification via errors.As.
+		return fmt.Errorf("service: %s %s: %w", req.Method, req.URL.Path, se)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("service: decode response: %w", err)
 	}
 	return nil
 }
+
+// maxErrorDrainBytes bounds the body tail drained for connection reuse; past
+// that, redialing is cheaper than reading.
+const maxErrorDrainBytes = 1 << 20
 
 // ServiceRunner is the client-side runner.Runner over a simulate Backend:
 // the drop-in replacement for runner.SimulatorRunner that lets
@@ -130,6 +145,16 @@ type ServiceRunner struct {
 	// Ctx, when set, bounds every batch (client-side deadline/cancel);
 	// nil means context.Background().
 	Ctx context.Context
+	// Retries bounds re-submissions of a batch that failed with a
+	// retryable error (server restart, canceled batch, router with every
+	// node briefly down). Retrying matters because the runner interface
+	// has no batch-level error channel: an unretried transient failure
+	// becomes per-candidate +Inf scores and the tuner permanently discards
+	// candidates that were never actually measured. Default 2; negative
+	// disables.
+	Retries int
+	// RetryBackoff spaces the re-submissions (default 250ms).
+	RetryBackoff time.Duration
 
 	hits, misses atomic.Uint64
 }
@@ -182,7 +207,7 @@ func (r *ServiceRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildR
 		sent = append(sent, i)
 	}
 	if len(sent) > 0 {
-		resp, err := r.Backend.Simulate(ctx, req)
+		resp, err := r.simulateWithRetry(ctx, req)
 		if err != nil {
 			for _, i := range sent {
 				out[i] = runner.MeasureResult{Err: err, Score: math.Inf(1)}
@@ -216,6 +241,32 @@ func (r *ServiceRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildR
 		}
 	}
 	return out
+}
+
+// simulateWithRetry re-submits a batch whose error is retryable (and whose
+// context is still alive): the batch is idempotent — results are
+// content-addressed and cancellation is never cached — so re-submission can
+// only re-simulate work, never corrupt it.
+func (r *ServiceRunner) simulateWithRetry(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	retries := r.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := r.Backend.Simulate(ctx, req)
+		if err == nil || attempt >= retries || !IsRetryable(err) || ctx.Err() != nil {
+			return resp, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // NopBuilder implements runner.Builder by declining to compile: the

@@ -50,13 +50,22 @@ type Statusz struct {
 	// Requests counts simulate batches, Candidates individual candidates.
 	Requests   uint64 `json:"requests"`
 	Candidates uint64 `json:"candidates"`
-	// CacheHits/CacheMisses partition served candidates; Entries is the
-	// current cache size.
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	CacheEntries int    `json:"cache_entries"`
-	// Shards reports per-architecture worker pools.
+	// CacheHits/CacheMisses partition successfully served candidates;
+	// CacheCanceled counts candidates whose batch was canceled before the
+	// cache could serve them (so hits+misses+canceled reconciles with the
+	// candidates accepted); Entries is the current cache size.
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheCanceled uint64 `json:"cache_canceled"`
+	CacheEntries  int    `json:"cache_entries"`
+	// Shards reports per-architecture worker pools (leaf servers only).
 	Shards []ShardStatus `json:"shards"`
+	// Nodes reports the backing servers when this statusz comes from a
+	// routing tier; the counters above are then sums over reachable nodes.
+	Nodes []NodeStatus `json:"nodes,omitempty"`
+	// Rerouted counts sub-batches a router re-sent to a ring successor
+	// after their owner failed (routing tier only).
+	Rerouted uint64 `json:"rerouted,omitempty"`
 }
 
 // HitRate returns the cache hit fraction over everything served so far.
@@ -66,6 +75,18 @@ func (s *Statusz) HitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(total)
+}
+
+// NodeStatus is one backing server as seen from a router: its ring identity,
+// liveness, and the last fault that took it out of rotation.
+type NodeStatus struct {
+	ID string `json:"id"`
+	Up bool   `json:"up"`
+	// Candidates counts candidates this router routed to the node (its own
+	// statusz may count more — other clients and routers reach it too).
+	Candidates uint64 `json:"candidates"`
+	// LastErr is the most recent probe/simulate fault ("" when healthy).
+	LastErr string `json:"last_err,omitempty"`
 }
 
 // ShardStatus is one architecture shard's load.

@@ -125,3 +125,113 @@ func TestEndToEndTuneThroughService(t *testing.T) {
 		t.Fatalf("server statusz saw no cache hits: %+v", st)
 	}
 }
+
+// TestEndToEndTuneThroughRouter is the acceptance path of the routing tier:
+// the identical tune through a 3-node consistent-hash router (live HTTP at
+// both tiers) must be bit-identical to the in-process run — same schedules,
+// same stats, same scores — and re-running it must be ≥ 99% cache-absorbed,
+// with the fleet's statusz reconciling candidate for candidate.
+func TestEndToEndTuneThroughRouter(t *testing.T) {
+	const (
+		group  = 1
+		trials = 24
+		seed   = 5
+	)
+	prof := hw.Lookup(isa.RISCV)
+	baseOpt := core.ExecutionOptions{
+		Scale: te.ScaleTiny, Group: group, Trials: trials, BatchSize: 8,
+		NParallel: 4, Seed: seed,
+	}
+	inproc, err := core.ExecutionPhase(prof, stubPredictor{}, baseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := make([]*Server, 3)
+	urls := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+		hs := httptest.NewServer(nodes[i].Handler())
+		defer hs.Close()
+		urls[i] = hs.URL
+	}
+	rt, err := NewRouter(RouterConfig{Nodes: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rs := httptest.NewServer(rt.Handler())
+	defer rs.Close()
+
+	tuneViaRouter := func() []ansor.Record {
+		opt := baseOpt
+		opt.Runner = &ServiceRunner{
+			Backend:  NewClient(rs.URL), // the router is indistinguishable from a server
+			Arch:     isa.RISCV,
+			Workload: ConvGroupSpec(te.ScaleTiny, group),
+			NPar:     4,
+		}
+		opt.Builder = NopBuilder{}
+		recs, err := core.ExecutionPhase(prof, stubPredictor{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	routed := tuneViaRouter()
+	if len(routed) != len(inproc) {
+		t.Fatalf("router run measured %d records, in-process %d", len(routed), len(inproc))
+	}
+	for i, r := range inproc {
+		if routed[i].Err != nil {
+			t.Fatalf("router record %d failed: %v", i, routed[i].Err)
+		}
+		if schedule.Fingerprint(r.Steps) != schedule.Fingerprint(routed[i].Steps) {
+			t.Fatalf("record %d: search diverged through the router", i)
+		}
+		got, want := normalized(routed[i].Stats), normalized(r.Stats)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: stats not bit-identical through the router:\n got %+v\nwant %+v", i, got, want)
+		}
+		if routed[i].Score != r.Score {
+			t.Fatalf("record %d: score %v != in-process %v", i, routed[i].Score, r.Score)
+		}
+	}
+
+	// Re-run: the sharded fleet must absorb it like a single node would.
+	rerun := tuneViaRouter()
+	hits, misses, _ := core.CacheStats(rerun)
+	if rate := float64(hits) / float64(hits+misses); rate < 0.99 {
+		t.Fatalf("router re-run hit rate %.2f, want >= 0.99 (%d hits / %d misses)", rate, hits, misses)
+	}
+	for i := range rerun {
+		if rerun[i].Score != routed[i].Score {
+			t.Fatalf("record %d: routed re-run diverged", i)
+		}
+	}
+
+	// Fleet accounting: the router's aggregate equals the per-node sums and
+	// nothing was simulated twice anywhere (each unique key on one node).
+	agg, err := NewClient(rs.URL).Statusz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodeHits, nodeMisses, nodeSim uint64
+	for _, n := range nodes {
+		st, _ := n.Statusz(context.Background())
+		nodeHits += st.CacheHits
+		nodeMisses += st.CacheMisses
+		for _, sh := range st.Shards {
+			nodeSim += sh.Simulated
+		}
+	}
+	if agg.CacheHits != nodeHits || agg.CacheMisses != nodeMisses {
+		t.Fatalf("router statusz (%d/%d) disagrees with node sums (%d/%d)",
+			agg.CacheHits, agg.CacheMisses, nodeHits, nodeMisses)
+	}
+	if nodeSim != nodeMisses {
+		t.Fatalf("fleet simulated %d candidates for %d misses — duplicate simulation across nodes",
+			nodeSim, nodeMisses)
+	}
+}

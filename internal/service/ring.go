@@ -1,0 +1,96 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultRingReplicas is the virtual-node count per backend. 128 points per
+// node keeps the largest/smallest arc ratio low enough that a 3-node ring
+// splits the key space within a few percent of evenly, at a lookup cost of
+// one binary search over n*128 points.
+const defaultRingReplicas = 128
+
+// ring is a consistent-hash ring over backend nodes, positioned in the same
+// sha256 space the cache Key lives in. Each node owns the arcs that end at
+// its virtual points, so each cache key has exactly one owner — the property
+// that makes the global cache dedupe across clients instead of per-node —
+// and adding or removing one node only moves the keys on that node's arcs.
+type ring struct {
+	points []ringPoint // sorted by pos
+	nodes  int
+}
+
+type ringPoint struct {
+	pos  uint64
+	node int
+}
+
+// newRing places replicas virtual points per node. Node identities are the
+// caller's strings (base URLs), hashed so the placement is stable across
+// processes and restarts — a router restart must not reshuffle the key
+// space under a warm fleet of caches.
+func newRing(nodeIDs []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultRingReplicas
+	}
+	r := &ring{
+		points: make([]ringPoint, 0, len(nodeIDs)*replicas),
+		nodes:  len(nodeIDs),
+	}
+	for n, id := range nodeIDs {
+		for v := 0; v < replicas; v++ {
+			h := sha256.Sum256([]byte(fmt.Sprintf("ring:%s#%d", id, v)))
+			r.points = append(r.points, ringPoint{pos: binary.BigEndian.Uint64(h[:8]), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Ties (astronomically unlikely) break deterministically by node.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// keyPos projects a cache key onto the ring.
+func keyPos(k Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// owner returns the node owning k: the first virtual point clockwise from
+// the key's position.
+func (r *ring) owner(k Key) int {
+	return r.points[r.search(keyPos(k))].node
+}
+
+// successors returns all nodes in ring order starting at k's owner, each
+// node once. Index 0 is the owner; a router walks the tail when nodes are
+// down, so a failed node's keys drain onto its ring successors (spreading
+// roughly evenly, since the node's virtual points interleave with
+// everyone's) instead of piling onto one designated backup.
+func (r *ring) successors(k Key) []int {
+	out := make([]int, 0, r.nodes)
+	seen := make([]bool, r.nodes)
+	for i, n := r.search(keyPos(k)), 0; n < r.nodes; i++ {
+		if i == len(r.points) {
+			i = 0
+		}
+		if node := r.points[i].node; !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+			n++
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise of pos.
+func (r *ring) search(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

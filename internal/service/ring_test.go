@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/te"
+)
+
+// ringTestKeys derives a spread of real cache keys (distinct step logs of
+// one workload) — the key population a router actually shards.
+func ringTestKeys(t testing.TB, n int) []Key {
+	t.Helper()
+	cands := tinyCandidates(t, 1, n)
+	keys := make([]Key, n)
+	for i, c := range cands {
+		keys[i] = CacheKey(isa.RISCV, hw.Lookup(isa.RISCV).Caches, ConvGroupSpec(te.ScaleTiny, 1), c.Steps)
+	}
+	return keys
+}
+
+// TestRingOwnershipStableAndBalanced checks the two properties routing
+// correctness rests on: the owner of a key is a pure function of (nodes,
+// key) — identical across ring instances, i.e. across router restarts — and
+// every node owns a non-trivial share of a realistic key population.
+func TestRingOwnershipStableAndBalanced(t *testing.T) {
+	nodes := []string{"http://sim-0:8070", "http://sim-1:8070", "http://sim-2:8070"}
+	r1 := newRing(nodes, 0)
+	r2 := newRing(nodes, 0)
+	keys := ringTestKeys(t, 120)
+	perNode := make([]int, len(nodes))
+	for _, k := range keys {
+		if r1.owner(k) != r2.owner(k) {
+			t.Fatalf("ring placement not deterministic for key %x", k[:8])
+		}
+		perNode[r1.owner(k)]++
+	}
+	for n, c := range perNode {
+		// With 128 virtual points per node a 3-way split stays far from
+		// degenerate; 10% of fair share is a loose floor that only trips on
+		// real imbalance bugs (e.g. all points hashing identically).
+		if c < len(keys)/len(nodes)/10 {
+			t.Fatalf("node %d owns %d of %d keys — ring is degenerate (%v)", n, c, len(keys), perNode)
+		}
+	}
+}
+
+// TestRingSuccessorsCoverAllNodes checks the failover walk: successors must
+// start at the owner and enumerate every node exactly once.
+func TestRingSuccessorsCoverAllNodes(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := newRing(nodes, 16)
+	for _, k := range ringTestKeys(t, 20) {
+		succ := r.successors(k)
+		if len(succ) != len(nodes) {
+			t.Fatalf("successors(%x) = %v, want all %d nodes", k[:8], succ, len(nodes))
+		}
+		if succ[0] != r.owner(k) {
+			t.Fatalf("successors(%x)[0] = %d, owner = %d", k[:8], succ[0], r.owner(k))
+		}
+		seen := make(map[int]bool)
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successors(%x) repeats node %d: %v", k[:8], n, succ)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingConsistency checks the "consistent" in consistent hashing: growing
+// the fleet from 3 to 4 nodes may only move keys onto the new node — a key
+// whose owner survives the change must keep it, or scale-out would invalidate
+// every node's warm cache instead of carving out one new shard.
+func TestRingConsistency(t *testing.T) {
+	three := []string{"n0", "n1", "n2"}
+	four := append(append([]string{}, three...), "n3")
+	r3, r4 := newRing(three, 0), newRing(four, 0)
+	moved := 0
+	keys := ringTestKeys(t, 200)
+	for _, k := range keys {
+		before, after := r3.owner(k), r4.owner(k)
+		if after != before && after != 3 {
+			t.Fatalf("key %x moved %d -> %d; only moves onto the new node are consistent",
+				k[:8], before, after)
+		}
+		if after == 3 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node — it owns nothing")
+	}
+	if moved > len(keys)/2 {
+		t.Fatalf("%d of %d keys moved for one added node — far beyond the ~1/4 a consistent ring moves",
+			moved, len(keys))
+	}
+}
+
+// TestRingSingleNode degenerates cleanly: one node owns everything.
+func TestRingSingleNode(t *testing.T) {
+	r := newRing([]string{"solo"}, 0)
+	for _, k := range ringTestKeys(t, 10) {
+		if r.owner(k) != 0 {
+			t.Fatal("single-node ring must own every key")
+		}
+		if s := r.successors(k); len(s) != 1 || s[0] != 0 {
+			t.Fatalf("successors = %v", s)
+		}
+	}
+}
+
+// TestRingManyNodesAllOwn checks no node is orphaned at a fleet size beyond
+// the test topologies (hash-placement accidents would orphan rarely, not
+// reproducibly).
+func TestRingManyNodesAllOwn(t *testing.T) {
+	var nodes []string
+	for i := 0; i < 16; i++ {
+		nodes = append(nodes, fmt.Sprintf("http://sim-%d:8070", i))
+	}
+	r := newRing(nodes, 0)
+	owned := make([]int, len(nodes))
+	for _, k := range ringTestKeys(t, 640) {
+		owned[r.owner(k)]++
+	}
+	for n, c := range owned {
+		if c == 0 {
+			t.Fatalf("node %d owns no keys: %v", n, owned)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/isa"
+)
+
+// RouterConfig sizes a Router.
+type RouterConfig struct {
+	// Nodes are the backend server base URLs, e.g.
+	// ["http://sim-0:8070", "http://sim-1:8070"]. The strings are also the
+	// ring identities, so keep them stable across router restarts — the
+	// ring placement (and therefore which node's cache owns which key)
+	// derives from them.
+	Nodes []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (default 128).
+	Replicas int
+	// ProbeInterval paces the background /v1/statusz health probe that
+	// returns recovered nodes to rotation (default 2s; negative disables
+	// probing — down nodes then stay down until probeOnce is called).
+	ProbeInterval time.Duration
+	// HTTPClient overrides the transport shared by all node clients.
+	HTTPClient *http.Client
+}
+
+func (c *RouterConfig) defaults() {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+}
+
+// Router is the horizontal scaling tier of the simulate service: it
+// implements Backend over N backend servers by consistent-hashing the
+// sha256 cache-key space across them. Each incoming batch is split by ring
+// owner, the sub-batches fan out to their owning nodes concurrently, and
+// the per-candidate results are re-assembled index-aligned — so the wire
+// protocol is unchanged at every tier (clients cannot tell a router from a
+// leaf server) while each cache key lives on exactly one node and
+// concurrent clients dedupe globally instead of per-node.
+//
+// Nodes that fail a probe or a simulate call leave rotation and their key
+// range drains to their ring successors; the background probe returns them
+// once /v1/statusz answers again. Only retryable faults (5xx, transport)
+// trigger failover — a 4xx means the request itself is broken and no
+// replica can help, and a 501 ("arch not served here", heterogeneous -archs
+// fleets) re-routes the batch around the healthy node without ejecting it.
+type Router struct {
+	cfg   RouterConfig
+	ring  *ring
+	nodes []*routerNode
+	start time.Time
+
+	requests   atomic.Uint64
+	candidates atomic.Uint64
+	rerouted   atomic.Uint64
+
+	stopProbe context.CancelFunc
+	probeWG   sync.WaitGroup
+}
+
+// routerNode is one backend in the ring with its liveness state.
+type routerNode struct {
+	id      string
+	backend Backend
+
+	up         atomic.Bool
+	candidates atomic.Uint64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+func (n *routerNode) markDown(err error) {
+	n.up.Store(false)
+	n.mu.Lock()
+	n.lastErr = err.Error()
+	n.mu.Unlock()
+}
+
+func (n *routerNode) markUp() {
+	n.up.Store(true)
+	n.mu.Lock()
+	n.lastErr = ""
+	n.mu.Unlock()
+}
+
+func (n *routerNode) status() NodeStatus {
+	n.mu.Lock()
+	lastErr := n.lastErr
+	n.mu.Unlock()
+	return NodeStatus{
+		ID:         n.id,
+		Up:         n.up.Load(),
+		Candidates: n.candidates.Load(),
+		LastErr:    lastErr,
+	}
+}
+
+// NewRouter builds a router over remote nodes and starts its health probe.
+// Call Close to stop probing.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("service: router needs at least one node")
+	}
+	backends := make([]Backend, len(cfg.Nodes))
+	for i, url := range cfg.Nodes {
+		cl := NewClient(url)
+		cl.HTTPClient = cfg.HTTPClient
+		backends[i] = cl
+	}
+	return NewRouterBackends(cfg.Nodes, backends, cfg)
+}
+
+// NewRouterBackends wires arbitrary Backends into the ring — the seam for
+// routing over in-process *Server values directly (tests, benchmarks,
+// single-binary multi-shard deployments). ids are the ring identities,
+// index-aligned with backends; cfg.Nodes is ignored.
+func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Router, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("service: router needs at least one node")
+	}
+	if len(ids) != len(backends) {
+		return nil, fmt.Errorf("service: router got %d ids for %d backends", len(ids), len(backends))
+	}
+	cfg.defaults()
+	rt := &Router{
+		cfg:   cfg,
+		ring:  newRing(ids, cfg.Replicas),
+		nodes: make([]*routerNode, len(ids)),
+		start: time.Now(),
+	}
+	for i := range ids {
+		rt.nodes[i] = &routerNode{id: ids[i], backend: backends[i]}
+		rt.nodes[i].up.Store(true)
+	}
+	if cfg.ProbeInterval > 0 {
+		probeCtx, cancel := context.WithCancel(context.Background())
+		rt.stopProbe = cancel
+		rt.probeWG.Add(1)
+		go func() {
+			defer rt.probeWG.Done()
+			tick := time.NewTicker(cfg.ProbeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-probeCtx.Done():
+					return
+				case <-tick.C:
+					rt.probeOnce(probeCtx)
+				}
+			}
+		}()
+	}
+	return rt, nil
+}
+
+// Close stops the background health probe. The router remains usable (nodes
+// just no longer recover automatically).
+func (rt *Router) Close() {
+	if rt.stopProbe != nil {
+		rt.stopProbe()
+		rt.probeWG.Wait()
+		rt.stopProbe = nil
+	}
+}
+
+// probeOnce health-checks every node concurrently and flips their rotation
+// state: statusz answering means up, anything else means out. It is called
+// by the background prober and directly by tests.
+func (rt *Router) probeOnce(ctx context.Context) {
+	timeout := rt.cfg.ProbeInterval
+	if timeout <= 0 { // probing disabled; direct calls still need a bound
+		timeout = 2 * time.Second
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, n := range rt.nodes {
+		wg.Add(1)
+		go func(n *routerNode) {
+			defer wg.Done()
+			if _, err := n.backend.Statusz(probeCtx); err != nil {
+				n.markDown(err)
+			} else {
+				n.markUp()
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Simulate implements Backend: split the batch by ring owner, fan sub-batches
+// out to the owning nodes, re-assemble index-aligned. Node faults re-route
+// the failed sub-batch to each key's ring successors; request defects (4xx)
+// and the caller's own cancellation fail the batch immediately.
+func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	// Validate up front so malformed requests are rejected at the routing
+	// tier — they must never count as node faults or trigger failover.
+	arch, err := isa.ParseArch(req.Arch)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+	}
+	if _, err := req.Workload.Factory(); err != nil {
+		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+	}
+	rt.requests.Add(1)
+	rt.candidates.Add(uint64(len(req.Candidates)))
+
+	// The routing decision hashes exactly what the node's cache will hash,
+	// so a key's simulate traffic and its cache entry meet on one node.
+	// Keys are kept for failover; the successor walk itself is deferred to
+	// the (rare) rounds where a key's owner is down, keeping the
+	// all-nodes-up hot path to one hash and one ring lookup per candidate.
+	caches := hw.Lookup(arch).Caches
+	keys := make([]Key, len(req.Candidates))
+	remaining := make([]int, len(req.Candidates))
+	for i, c := range req.Candidates {
+		keys[i] = CacheKey(arch, caches, req.Workload, c.Steps)
+		remaining[i] = i
+	}
+
+	results := make([]Result, len(req.Candidates))
+	// excluded marks nodes that answered 501 (arch not served there) for
+	// THIS batch: they are healthy and stay in rotation for other archs,
+	// but this batch's keys must route past them.
+	excluded := make([]bool, len(rt.nodes))
+	var unservedErr error
+	pick := func(i int) int {
+		if n := rt.ring.owner(keys[i]); rt.nodes[n].up.Load() && !excluded[n] {
+			return n
+		}
+		for _, n := range rt.ring.successors(keys[i]) {
+			if rt.nodes[n].up.Load() && !excluded[n] {
+				return n
+			}
+		}
+		return -1
+	}
+	for attempt := 0; len(remaining) > 0; attempt++ {
+		if attempt > len(rt.nodes) {
+			return nil, fmt.Errorf("service: %w",
+				unavailablef("batch undeliverable after %d failover rounds", attempt))
+		}
+		groups := make(map[int][]int)
+		for _, i := range remaining {
+			n := pick(i)
+			if n < 0 {
+				if unservedErr != nil {
+					// Every live node declined the arch: the fleet's config,
+					// not its health, fails this batch — report the stable
+					// 501 so clients do not spin on retries.
+					return nil, unservedErr
+				}
+				return nil, fmt.Errorf("service: %w", unavailablef("no live nodes (of %d)", len(rt.nodes)))
+			}
+			groups[n] = append(groups[n], i)
+		}
+
+		type outcome struct {
+			node int
+			idx  []int
+			resp *SimulateResponse
+			err  error
+		}
+		ch := make(chan outcome, len(groups))
+		for n, idx := range groups {
+			go func(n int, idx []int) {
+				sub := &SimulateRequest{Arch: req.Arch, Workload: req.Workload,
+					Candidates: make([]Candidate, len(idx))}
+				for j, i := range idx {
+					sub.Candidates[j] = req.Candidates[i]
+				}
+				resp, err := rt.nodes[n].backend.Simulate(ctx, sub)
+				if err == nil && len(resp.Results) != len(idx) {
+					err = fmt.Errorf("service: node %s returned %d results for %d candidates",
+						rt.nodes[n].id, len(resp.Results), len(idx))
+				}
+				ch <- outcome{node: n, idx: idx, resp: resp, err: err}
+			}(n, idx)
+		}
+
+		var retry []int
+		var batchErr error
+		for range groups {
+			o := <-ch
+			switch {
+			case o.err == nil:
+				for j, i := range o.idx {
+					results[i] = o.resp.Results[j]
+				}
+				rt.nodes[o.node].candidates.Add(uint64(len(o.idx)))
+			case ctx.Err() != nil:
+				// The caller canceled; says nothing about node health.
+				if batchErr == nil {
+					batchErr = o.err
+				}
+			case isUnserved(o.err):
+				// The node is healthy but its operator config does not
+				// serve this arch: route around it for this batch only.
+				excluded[o.node] = true
+				unservedErr = o.err
+				rt.rerouted.Add(1)
+				retry = append(retry, o.idx...)
+			case !IsRetryable(o.err):
+				// The node proved the request itself defective — not the
+				// node's fault; fail the batch.
+				if batchErr == nil {
+					batchErr = o.err
+				}
+			default:
+				// Node fault: out of rotation, keys drain to ring successors.
+				rt.nodes[o.node].markDown(o.err)
+				rt.rerouted.Add(1)
+				retry = append(retry, o.idx...)
+			}
+		}
+		if batchErr != nil {
+			return nil, batchErr
+		}
+		remaining = retry
+	}
+	return &SimulateResponse{Results: results}, nil
+}
+
+// Statusz implements Backend: the router's own routing counters plus the
+// reachable nodes' counters summed — cache hits/misses/canceled and entries
+// across the fleet, and per-arch shard loads merged by architecture — with a
+// per-node breakdown in Nodes. Unreachable nodes are reported but not
+// summed (their counters are unknowable, not zero).
+func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
+	agg := &Statusz{
+		UptimeSec:  time.Since(rt.start).Seconds(),
+		Requests:   rt.requests.Load(),
+		Candidates: rt.candidates.Load(),
+		Rerouted:   rt.rerouted.Load(),
+	}
+	type nodeStatusz struct {
+		st  *Statusz
+		err error
+	}
+	polled := make([]nodeStatusz, len(rt.nodes))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		wg.Add(1)
+		go func(i int, n *routerNode) {
+			defer wg.Done()
+			polled[i].st, polled[i].err = n.backend.Statusz(ctx)
+		}(i, n)
+	}
+	wg.Wait()
+
+	shardByArch := make(map[string]*ShardStatus)
+	var shardOrder []string
+	for i, n := range rt.nodes {
+		ns := n.status()
+		if polled[i].err != nil {
+			ns.Up = false
+			ns.LastErr = polled[i].err.Error()
+		} else {
+			st := polled[i].st
+			agg.CacheHits += st.CacheHits
+			agg.CacheMisses += st.CacheMisses
+			agg.CacheCanceled += st.CacheCanceled
+			agg.CacheEntries += st.CacheEntries
+			for _, sh := range st.Shards {
+				m, ok := shardByArch[sh.Arch]
+				if !ok {
+					m = &ShardStatus{Arch: sh.Arch}
+					shardByArch[sh.Arch] = m
+					shardOrder = append(shardOrder, sh.Arch)
+				}
+				m.Workers += sh.Workers
+				m.Queued += sh.Queued
+				m.Running += sh.Running
+				m.Simulated += sh.Simulated
+			}
+		}
+		agg.Nodes = append(agg.Nodes, ns)
+	}
+	for _, arch := range shardOrder {
+		agg.Shards = append(agg.Shards, *shardByArch[arch])
+	}
+	return agg, nil
+}
+
+// Handler exposes the router over the same wire protocol as a leaf server.
+func (rt *Router) Handler() http.Handler { return backendHandler(rt) }
+
+// ListenAndServe runs the router's HTTP surface until ctx is cancelled (see
+// Server.ListenAndServe), then stops the health probe.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
+	defer rt.Close()
+	return serveHTTP(ctx, addr, rt.Handler())
+}

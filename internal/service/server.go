@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,39 +60,68 @@ func Local() *Server { return NewServer(Config{}) }
 // — within the batch or racing with other clients — are simulated once and
 // shared through the singleflight layer. Cancelling ctx (server shutdown,
 // client disconnect) stops dispatching, lets in-flight simulations finish
-// into the cache, and returns the context error.
+// into the cache, and fails the batch as a whole with a retryable error.
+//
+// Cancellation is never folded into a per-candidate Result.Err: Result.Err
+// is reserved for deterministic candidate failures, which clients score as
+// +Inf and tuners permanently discard. A canceled batch says nothing about
+// any candidate's viability, so it must surface as a batch-level error the
+// caller can retry.
 func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
 	arch, err := isa.ParseArch(req.Arch)
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", err)
+		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
 	}
 	sh, ok := s.shards[arch]
 	if !ok {
-		return nil, fmt.Errorf("service: arch %s not served (configured: %v)", arch, s.cfg.Archs)
+		// The arch exists but this node was not configured to serve it: a
+		// deployment fact, not a request defect and not a node fault — a
+		// router tries a differently-configured replica without taking this
+		// node out of rotation.
+		return nil, fmt.Errorf("service: %w",
+			unservedf("arch %s not served (configured: %v)", arch, s.cfg.Archs))
 	}
 	factory, err := req.Workload.Factory()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
 	}
 	s.requests.Add(1)
 	s.candidates.Add(uint64(len(req.Candidates)))
 
 	results := make([]Result, len(req.Candidates))
+	var mu sync.Mutex
+	var cancelErr error // first cancellation seen by any worker
+	var dispatched atomic.Uint64
 	perr := runner.ParallelCtx(ctx, s.cfg.WorkersPerArch, len(req.Candidates), func(i int) {
+		dispatched.Add(1)
 		steps := req.Candidates[i].Steps
 		key := CacheKey(arch, sh.prof.Caches, req.Workload, steps)
 		r, hit, err := s.cache.do(ctx, key, func() (Result, error) {
 			return sh.exec(ctx, factory, steps)
 		})
 		if err != nil {
-			results[i] = Result{Err: "canceled: " + err.Error()}
+			// Only cancellation reaches here (deterministic failures travel
+			// inside Result.Err). If ctx died after ParallelCtx dispatched
+			// everything, perr below stays nil — record the abort ourselves.
+			mu.Lock()
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			mu.Unlock()
 			return
 		}
 		r.CacheHit = hit
 		results[i] = r
 	})
+	if perr == nil {
+		perr = cancelErr
+	}
 	if perr != nil {
-		return nil, fmt.Errorf("service: batch aborted: %w", perr)
+		// Candidates ParallelCtx never dispatched were canceled before the
+		// cache could see them; charge them to the canceled counter so
+		// hits+misses+canceled still reconciles with candidates accepted.
+		s.cache.canceled.Add(uint64(len(req.Candidates)) - dispatched.Load())
+		return nil, fmt.Errorf("service: %w", unavailablef("batch canceled: %v", perr))
 	}
 	return &SimulateResponse{Results: results}, nil
 }
@@ -99,12 +129,13 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 // Statusz implements Backend.
 func (s *Server) Statusz(context.Context) (*Statusz, error) {
 	st := &Statusz{
-		UptimeSec:    time.Since(s.start).Seconds(),
-		Requests:     s.requests.Load(),
-		Candidates:   s.candidates.Load(),
-		CacheHits:    s.cache.hits.Load(),
-		CacheMisses:  s.cache.misses.Load(),
-		CacheEntries: s.cache.len(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Candidates:    s.candidates.Load(),
+		CacheHits:     s.cache.hits.Load(),
+		CacheMisses:   s.cache.misses.Load(),
+		CacheCanceled: s.cache.canceled.Load(),
+		CacheEntries:  s.cache.len(),
 	}
 	for _, arch := range s.cfg.Archs {
 		st.Shards = append(st.Shards, s.shards[arch].status())
@@ -119,49 +150,47 @@ func (s *Server) Statusz(context.Context) (*Statusz, error) {
 //
 // Requests run under the HTTP request context, so a disconnecting client
 // aborts its own batch's undispatched work.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler() http.Handler { return backendHandler(s) }
+
+// backendHandler exposes any Backend over the wire protocol — the one
+// handler serves both a leaf *Server and a *Router, which is what keeps the
+// protocol identical at every tier. Error responses carry the Error
+// classification as their status: 4xx for request defects, 5xx for server
+// faults and cancellation, so routers and dashboards can tell "this batch
+// can never succeed" from "retry elsewhere".
+func backendHandler(b Backend) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	mux.HandleFunc("/v1/statusz", s.handleStatusz)
-	return mux
-}
-
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req SimulateRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
-		return
-	}
-	resp, err := s.Simulate(r.Context(), &req)
-	if err != nil {
-		status := http.StatusBadRequest
-		if r.Context().Err() != nil {
-			// The client is gone; the status is moot but 499-style intent
-			// should not read as a server fault in logs.
-			status = http.StatusServiceUnavailable
+	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
 		}
-		httpError(w, status, err.Error())
-		return
-	}
-	writeJSON(w, resp)
-}
-
-func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	st, err := s.Statusz(r.Context())
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, st)
+		var req SimulateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		resp, err := b.Simulate(r.Context(), &req)
+		if err != nil {
+			httpError(w, httpStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		st, err := b.Statusz(r.Context())
+		if err != nil {
+			httpError(w, httpStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, st)
+	})
+	return mux
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -183,9 +212,15 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 // Shutdown completes — Shutdown alone would wait out active handlers
 // without ever cancelling them.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return serveHTTP(ctx, addr, s.Handler())
+}
+
+// serveHTTP is the shared listen/shutdown loop behind Server.ListenAndServe
+// and Router.ListenAndServe.
+func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
 	httpSrv := &http.Server{
 		Addr:        addr,
-		Handler:     s.Handler(),
+		Handler:     h,
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	errc := make(chan error, 1)

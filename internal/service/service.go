@@ -34,6 +34,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
@@ -42,17 +43,87 @@ import (
 )
 
 // Backend executes simulation batches. *Server implements it in-process;
-// *Client implements it over HTTP. ServiceRunner and all higher layers only
-// see this interface, which is what makes the in-process and remote
-// backends interchangeable.
+// *Client implements it over HTTP; *Router implements it by sharding across
+// many servers. ServiceRunner and all higher layers only see this interface,
+// which is what makes the in-process, remote and multi-node backends
+// interchangeable.
 type Backend interface {
 	// Simulate executes (or serves from cache) every candidate of the
 	// request. A non-nil error means the batch as a whole failed
-	// (transport, unknown arch/workload, cancellation); per-candidate
-	// failures travel inside Result.Err.
+	// (transport, unknown arch/workload, cancellation) — use IsRetryable
+	// to tell transient conditions from deterministic request errors.
+	// Per-candidate *deterministic* failures (broken schedules) travel
+	// inside Result.Err; cancellation never does.
 	Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error)
 	// Statusz reports server metrics.
 	Statusz(ctx context.Context) (*Statusz, error)
+}
+
+// Error is a classified service failure. Status carries the HTTP taxonomy
+// even for in-process backends: 4xx means the request itself is wrong
+// (malformed arch/workload — retrying, here or on any other node, fails
+// identically), 5xx means this server could not do the work right now
+// (canceled batch, unserved arch under the operator's -archs config, node
+// fault) and a router may fail the batch over to a replica. handleSimulate
+// writes Status on the wire and Client.roundTrip reconstructs it, so the
+// classification survives the HTTP hop.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Retryable reports whether the failure is transient: the identical request
+// may succeed later or on another node. Client errors are deterministic and
+// never retryable; 501 (arch not served here) is stable operator
+// configuration, not a transient fault — retrying the same node is futile,
+// and a router routes around it without treating the node as sick.
+func (e *Error) Retryable() bool { return e.Status >= 500 && e.Status != 501 }
+
+func badRequestf(format string, args ...any) *Error {
+	return &Error{Status: 400, Msg: fmt.Sprintf(format, args...)}
+}
+
+func unavailablef(format string, args ...any) *Error {
+	return &Error{Status: 503, Msg: fmt.Sprintf(format, args...)}
+}
+
+func unservedf(format string, args ...any) *Error {
+	return &Error{Status: 501, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isUnserved reports the 501 "arch not served on this node" condition — the
+// one class a router must route around per-batch without ejecting the
+// (healthy) node from rotation.
+func isUnserved(err error) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Status == 501
+}
+
+// IsRetryable classifies an arbitrary Backend error: context cancellation
+// and transport failures are transient; a classified *Error answers for
+// itself; anything unidentified is treated as a server fault (retryable) —
+// the conservative choice for a router, which would rather re-route a batch
+// than permanently poison candidates with +Inf scores.
+func IsRetryable(err error) bool {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	return true
+}
+
+// httpStatus maps a Simulate/Statusz error to its wire status.
+func httpStatus(err error) int {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 503
+	}
+	return 500
 }
 
 // Config sizes a Server.

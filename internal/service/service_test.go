@@ -308,8 +308,11 @@ func TestSimulateCancellation(t *testing.T) {
 		Workload:   ConvGroupSpec(te.ScaleTiny, 1),
 		Candidates: tinyCandidates(t, 1, 8),
 	})
-	if err == nil || !strings.Contains(err.Error(), "batch aborted") {
-		t.Fatalf("err = %v, want batch aborted", err)
+	if err == nil || !strings.Contains(err.Error(), "batch canceled") {
+		t.Fatalf("err = %v, want batch canceled", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("a canceled batch must classify as retryable, got %v", err)
 	}
 	st, _ := srv.Statusz(context.Background())
 	for _, sh := range st.Shards {

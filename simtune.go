@@ -213,12 +213,14 @@ type TuneGroupOptions struct {
 	// Seed drives the search (default: training seed + 1).
 	Seed uint64
 	// ServerURL switches the backend from in-process simulators to a
-	// remote simulate service ("simtune serve"), e.g.
-	// "http://tuner-farm:8070". Candidates then travel as step logs, are
-	// compiled and simulated server-side, and identical candidates — from
-	// this run or any other client — are served from the server's
-	// content-addressed result cache. Statistics are bit-identical to the
-	// in-process backend.
+	// remote simulate service, e.g. "http://tuner-farm:8070". The URL may
+	// point at a single server ("simtune serve") or, transparently, at a
+	// consistent-hash routing tier over many servers ("simtune route") —
+	// the wire protocol is identical. Candidates then travel as step logs,
+	// are compiled and simulated server-side, and identical candidates —
+	// from this run or any other client — are served from the fleet's
+	// content-addressed result cache (each key owned by exactly one node).
+	// Statistics are bit-identical to the in-process backend.
 	ServerURL string
 }
 
