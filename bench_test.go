@@ -58,7 +58,7 @@ func BenchmarkTableI_CacheHierarchies(b *testing.B) {
 				b.Fatal(err)
 			}
 			l1d, _ := st.Cache("L1D")
-			b.ReportMetric(100*float64(l1d.ReadHits)/float64(l1d.ReadAccesses),
+			b.ReportMetric(100*float64(l1d.ReadHits())/float64(l1d.ReadAccesses()),
 				string(prof.Arch)+"_L1D_hit%")
 		}
 	}

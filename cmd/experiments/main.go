@@ -13,13 +13,16 @@
 //	all       everything above
 //
 // Flags select the scale ("tiny", "small", "paper"), budgets, the dataset
-// cache directory and the output CSV path for fig5.
+// cache directory and the output CSV path for fig5. -cpuprofile writes a
+// pprof CPU profile of the whole run (the profile-capture workflow for the
+// ROADMAP hot-spot list is documented in the README).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,12 +48,24 @@ func run(args []string) error {
 	cacheDir := fs.String("cache", defaultCacheDir(), "dataset cache directory (empty = off)")
 	fig5Group := fs.Int("fig5-group", 3, "group evaluated by fig5")
 	csvPath := fs.String("csv", "", "write fig5 series to this CSV file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return fmt.Errorf("missing subcommand (table1..table5, fig5, speedup, generalize, ablate, all)")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	scale, err := te.ParseScale(*scaleFlag)

@@ -63,8 +63,8 @@ func main() {
 		fmt.Printf("  instructions: %d (loads %d, stores %d, branches %d)\n",
 			st.Total, st.Loads, st.Stores, st.Branches)
 		fmt.Printf("  L1D: %.2f%% read hits (%d misses), L2: %.2f%% read hits\n",
-			100*float64(l1d.ReadHits)/float64(l1d.ReadAccesses), l1d.ReadMisses,
-			100*float64(l2.ReadHits)/float64(max64(1, l2.ReadAccesses)))
+			100*float64(l1d.ReadHits())/float64(l1d.ReadAccesses()), l1d.ReadMisses(),
+			100*float64(l2.ReadHits())/float64(max64(1, l2.ReadAccesses())))
 	}
 	fmt.Println("\nsame instruction stream, different memory system: exactly the")
 	fmt.Println("statistics a score predictor needs to rank implementations per target.")

@@ -1,0 +1,110 @@
+package simtune_test
+
+// Golden-stats regression fixture: the complete per-level cache statistics
+// of the headline throughput workload (ConvGroup small/1, RISC-V, default
+// schedule), pinned to the exact values the seed-tree scalar replay
+// produced. The differential tests compare the aggregated encoding against
+// the per-instruction one *within* a build — this fixture additionally pins
+// both against history, so a silent counter drift that changed the two
+// encodings in lockstep (a bug in the shared model, or a "fast path" that
+// redefined a counter) fails tier-1 loudly.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/te"
+)
+
+// goldenLevel is one cache level's pinned counters (reads/writes as
+// hits+misses pairs, replacements, writebacks).
+type goldenLevel struct {
+	name                   string
+	rdHits, rdMisses       uint64
+	wrHits, wrMisses       uint64
+	rdRepl, wrRepl, wbacks uint64
+}
+
+func TestGoldenStatsConvSmall1RISCV(t *testing.T) {
+	wl := te.ConvGroup(te.ScaleSmall, 1)
+	prog, err := lower.Build(schedule.New(wl.Op), isa.Lookup(isa.RISCV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run(prog, hw.Lookup(isa.RISCV).Caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Total != 3585626 {
+		t.Errorf("Total = %d, golden 3585626", st.Total)
+	}
+	wantInstr := map[isa.Class]uint64{
+		isa.Load:   888192,
+		isa.Store:  6272,
+		isa.ALU:    1116657,
+		isa.FMA:    464128,
+		isa.Branch: 1110377,
+	}
+	for cl, want := range wantInstr {
+		if got := st.Instr[cl]; got != want {
+			t.Errorf("Instr[%v] = %d, golden %d", cl, got, want)
+		}
+	}
+	if st.Loads != 888192 || st.Stores != 6272 || st.Branches != 1110377 {
+		t.Errorf("aggregates = (%d, %d, %d), golden (888192, 6272, 1110377)",
+			st.Loads, st.Stores, st.Branches)
+	}
+	if st.LoopExits != 207210 {
+		t.Errorf("LoopExits = %d, golden 207210", st.LoopExits)
+	}
+
+	golden := []goldenLevel{
+		{name: "L1D", rdHits: 887687, rdMisses: 505, wrHits: 5880, wrMisses: 392,
+			rdRepl: 112, wrRepl: 273, wbacks: 286},
+		{name: "L1I", rdHits: 12542, rdMisses: 2},
+		{name: "L2", rdHits: 76, rdMisses: 823, wrHits: 286, wrMisses: 0},
+	}
+	if len(st.Caches) != len(golden) {
+		t.Fatalf("levels = %d, golden %d", len(st.Caches), len(golden))
+	}
+	for i, g := range golden {
+		got := st.Caches[i]
+		if got.Name != g.name {
+			t.Fatalf("level %d = %s, golden %s", i, got.Name, g.name)
+		}
+		want := cache.Stats{
+			Hits:       [2]uint64{cache.KindRead: g.rdHits, cache.KindWrite: g.wrHits},
+			Misses:     [2]uint64{cache.KindRead: g.rdMisses, cache.KindWrite: g.wrMisses},
+			Repl:       [2]uint64{cache.KindRead: g.rdRepl, cache.KindWrite: g.wrRepl},
+			Writebacks: g.wbacks,
+		}
+		if got.Stats != want {
+			t.Errorf("%s stats drifted:\n got    %+v\n golden %+v", g.name, got.Stats, want)
+		}
+	}
+
+	// The timing model consumes the same stream: its cycle count and
+	// mispredicts are pinned too. The comparison allows a hair of relative
+	// slack (1e-9) because Go may contract a*b+c into FMA on some
+	// architectures, shifting the last float bits — any real drift (one
+	// whole cycle out of 4.7M is ~2e-7) still fails by orders of magnitude.
+	m, err := hw.NewMachine(hw.Lookup(isa.RISCV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower.Execute(prog, m, false)
+	const goldenCycles = 4.666693100000001e+06
+	if got := m.Cycles(); math.Abs(got-goldenCycles) > goldenCycles*1e-9 {
+		t.Errorf("hw cycles = %v, golden %v", got, goldenCycles)
+	}
+	if got := m.Mispredicts(); got != 214266 {
+		t.Errorf("hw mispredicts = %d, golden 214266", got)
+	}
+}

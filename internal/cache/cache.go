@@ -41,38 +41,77 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Counter indices of the Stats arrays: every per-kind counter is a [2]
+// array indexed by KindRead/KindWrite, so the access hot path computes the
+// index once (w := b2i(write)) instead of branching on the kind at every
+// counter update.
+const (
+	KindRead  = 0
+	KindWrite = 1
+)
+
+// b2i maps an access's write flag to its Stats counter index.
+func b2i(write bool) int {
+	if write {
+		return KindWrite
+	}
+	return KindRead
+}
+
 // Stats are the per-level counters the predictor features are built from.
+// Accesses are not stored: hits + misses is an invariant of the model, so
+// the totals are derived by the accessor methods, which preserve the
+// previous field-based API surface (ReadAccesses, WriteHits, ...) for the
+// metrics/features consumers.
 type Stats struct {
-	ReadAccesses  uint64
-	ReadHits      uint64
-	ReadMisses    uint64
-	WriteAccesses uint64
-	WriteHits     uint64
-	WriteMisses   uint64
-	// ReadRepl/WriteRepl count valid-line evictions caused by read/write
-	// allocations.
-	ReadRepl  uint64
-	WriteRepl uint64
+	// Hits/Misses count line accesses served by / missing this level,
+	// indexed by KindRead/KindWrite.
+	Hits   [2]uint64
+	Misses [2]uint64
+	// Repl counts valid-line evictions caused by read/write allocations,
+	// indexed by KindRead/KindWrite.
+	Repl [2]uint64
 	// Writebacks counts dirty evictions forwarded to the next level.
 	Writebacks uint64
 }
 
-// Accesses returns total accesses.
-func (s Stats) Accesses() uint64 { return s.ReadAccesses + s.WriteAccesses }
+// ReadAccesses returns total read accesses (hits + misses).
+func (s Stats) ReadAccesses() uint64 { return s.Hits[KindRead] + s.Misses[KindRead] }
 
-// Check verifies counter consistency invariants.
+// WriteAccesses returns total write accesses (hits + misses).
+func (s Stats) WriteAccesses() uint64 { return s.Hits[KindWrite] + s.Misses[KindWrite] }
+
+// ReadHits returns read accesses that hit this level.
+func (s Stats) ReadHits() uint64 { return s.Hits[KindRead] }
+
+// WriteHits returns write accesses that hit this level.
+func (s Stats) WriteHits() uint64 { return s.Hits[KindWrite] }
+
+// ReadMisses returns read accesses that missed this level.
+func (s Stats) ReadMisses() uint64 { return s.Misses[KindRead] }
+
+// WriteMisses returns write accesses that missed this level.
+func (s Stats) WriteMisses() uint64 { return s.Misses[KindWrite] }
+
+// ReadRepl returns valid-line evictions caused by read allocations.
+func (s Stats) ReadRepl() uint64 { return s.Repl[KindRead] }
+
+// WriteRepl returns valid-line evictions caused by write allocations.
+func (s Stats) WriteRepl() uint64 { return s.Repl[KindWrite] }
+
+// Accesses returns total accesses.
+func (s Stats) Accesses() uint64 {
+	return s.Hits[KindRead] + s.Misses[KindRead] + s.Hits[KindWrite] + s.Misses[KindWrite]
+}
+
+// Check verifies counter consistency invariants. (Hits + misses = accesses
+// holds structurally now that accesses are derived.)
 func (s Stats) Check() error {
-	if s.ReadHits+s.ReadMisses != s.ReadAccesses {
-		return fmt.Errorf("cache: read hits %d + misses %d != accesses %d", s.ReadHits, s.ReadMisses, s.ReadAccesses)
+	if s.Repl[KindRead] > s.Misses[KindRead] {
+		return fmt.Errorf("cache: read replacements %d > read misses %d", s.Repl[KindRead], s.Misses[KindRead])
 	}
-	if s.WriteHits+s.WriteMisses != s.WriteAccesses {
-		return fmt.Errorf("cache: write hits %d + misses %d != accesses %d", s.WriteHits, s.WriteMisses, s.WriteAccesses)
-	}
-	if s.ReadRepl > s.ReadMisses {
-		return fmt.Errorf("cache: read replacements %d > read misses %d", s.ReadRepl, s.ReadMisses)
-	}
-	if s.WriteRepl > s.WriteMisses {
-		return fmt.Errorf("cache: write replacements %d > write misses %d", s.WriteRepl, s.WriteMisses)
+	if s.Repl[KindWrite] > s.Misses[KindWrite] {
+		return fmt.Errorf("cache: write replacements %d > write misses %d", s.Repl[KindWrite], s.Misses[KindWrite])
 	}
 	return nil
 }
@@ -87,8 +126,9 @@ type line struct {
 }
 
 const (
+	dirtyShift  = 62
 	lineValid   = uint64(1) << 63
-	lineDirty   = uint64(1) << 62
+	lineDirty   = uint64(1) << dirtyShift
 	lineTagMask = lineDirty - 1
 )
 
@@ -151,19 +191,20 @@ func (c *Cache) Config() Config { return c.cfg }
 // this level hit, 2 the next level, and so on; a miss in the last level
 // returns one beyond the level count (memory).
 func (c *Cache) Access(addr uint64, size uint32, write bool) int {
+	w := b2i(write)
 	first := addr >> c.lineShift
 	if size <= 1 || (addr+uint64(size)-1)>>c.lineShift == first {
 		// Common case: the access stays within one line (kept small so the
 		// whole call inlines into the simulator hot loops).
-		return c.accessLine(first, write)
+		return c.accessLine(first, w)
 	}
-	return c.accessSpan(first, (addr+uint64(size)-1)>>c.lineShift, write)
+	return c.accessSpan(first, (addr+uint64(size)-1)>>c.lineShift, w)
 }
 
-func (c *Cache) accessSpan(first, last uint64, write bool) int {
+func (c *Cache) accessSpan(first, last uint64, w int) int {
 	depth := 0
 	for ln := first; ln <= last; ln++ {
-		if d := c.accessLine(ln, write); d > depth {
+		if d := c.accessLine(ln, w); d > depth {
 			depth = d
 		}
 	}
@@ -171,53 +212,40 @@ func (c *Cache) accessSpan(first, last uint64, write bool) int {
 }
 
 // accessLine handles one line-granular access and returns the service depth.
-func (c *Cache) accessLine(lineAddr uint64, write bool) int {
+// w is the Stats counter index (KindRead/KindWrite); passing the index
+// instead of a bool keeps the whole function branch-free on the access kind
+// — counters index by w and the dirty bit is computed as w<<dirtyShift.
+func (c *Cache) accessLine(lineAddr uint64, w int) int {
 	si := lineAddr & c.setMask
 	base := int(si) * c.assoc
 	// Full line address as tag keeps the mapping injective; the valid bit
 	// is part of the match word, so one compare tests validity and tag.
 	tag := lineAddr | lineValid
+	dirty := uint64(w) << dirtyShift
 	c.stamp++
-	if write {
-		c.Stats.WriteAccesses++
-	} else {
-		c.Stats.ReadAccesses++
-	}
 	// Hit? Probe the most-recently-used way first: temporally local streams
 	// resolve there without scanning the set.
 	if ln := &c.lines[base+int(c.mru[si])]; ln.tag&^lineDirty == tag {
 		ln.lru = c.stamp
-		if write {
-			ln.tag |= lineDirty
-			c.Stats.WriteHits++
-		} else {
-			c.Stats.ReadHits++
-		}
+		ln.tag |= dirty
+		c.Stats.Hits[w]++
 		return 1
 	}
 	for i := 0; i < c.assoc; i++ {
 		if ln := &c.lines[base+i]; ln.tag&^lineDirty == tag {
 			ln.lru = c.stamp
+			ln.tag |= dirty
 			c.mru[si] = int32(i)
-			if write {
-				ln.tag |= lineDirty
-				c.Stats.WriteHits++
-			} else {
-				c.Stats.ReadHits++
-			}
+			c.Stats.Hits[w]++
 			return 1
 		}
 	}
 	// Miss.
-	if write {
-		c.Stats.WriteMisses++
-	} else {
-		c.Stats.ReadMisses++
-	}
+	c.Stats.Misses[w]++
 	// Fetch from next level (write-allocate: the line is read first).
 	depth := 2
 	if c.next != nil {
-		depth = 1 + c.next.accessLine(lineAddr, false)
+		depth = 1 + c.next.accessLine(lineAddr, KindRead)
 	} else {
 		c.MemAccesses++
 	}
@@ -235,27 +263,37 @@ func (c *Cache) accessLine(lineAddr uint64, write bool) int {
 	v := &c.lines[base+victim]
 	if v.tag&lineValid != 0 {
 		// Valid line evicted: replacement.
-		if write {
-			c.Stats.WriteRepl++
-		} else {
-			c.Stats.ReadRepl++
-		}
+		c.Stats.Repl[w]++
 		if v.tag&lineDirty != 0 {
 			c.Stats.Writebacks++
 			if c.next != nil {
-				c.next.accessLine(v.tag&lineTagMask, true)
+				c.next.accessLine(v.tag&lineTagMask, KindWrite)
 			} else {
 				c.MemAccesses++
 			}
 		}
 	}
-	newTag := tag
-	if write {
-		newTag |= lineDirty
-	}
-	*v = line{tag: newTag, lru: c.stamp}
+	*v = line{tag: tag | dirty, lru: c.stamp}
 	c.mru[si] = int32(victim)
 	return depth
+}
+
+// findLine probes for a resident line and returns its flat way-storage
+// index and set (-1 when absent), with no side effects on stats or LRU
+// state — the read-only probe of the resident-span fast path.
+func (c *Cache) findLine(lineAddr uint64) (int32, int32) {
+	si := int32(lineAddr & c.setMask)
+	base := si * int32(c.assoc)
+	tag := lineAddr | lineValid
+	if idx := base + c.mru[si]; c.lines[idx].tag&^lineDirty == tag {
+		return idx, si
+	}
+	for i := int32(0); i < int32(c.assoc); i++ {
+		if c.lines[base+i].tag&^lineDirty == tag {
+			return base + i, si
+		}
+	}
+	return -1, si
 }
 
 // Reset clears contents and statistics (cold caches, as the paper flushes

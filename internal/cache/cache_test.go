@@ -44,11 +44,11 @@ func TestConfigValidateRejects(t *testing.T) {
 func TestColdMissThenHit(t *testing.T) {
 	c := smallCache(t, 1024, 64, 2, nil)
 	c.Access(0, 4, false)
-	if c.Stats.ReadMisses != 1 || c.Stats.ReadHits != 0 {
+	if c.Stats.ReadMisses() != 1 || c.Stats.ReadHits() != 0 {
 		t.Fatalf("cold access: %+v", c.Stats)
 	}
 	c.Access(60, 4, false) // same line
-	if c.Stats.ReadHits != 1 {
+	if c.Stats.ReadHits() != 1 {
 		t.Fatalf("same-line access must hit: %+v", c.Stats)
 	}
 	if c.MemAccesses != 1 {
@@ -59,7 +59,7 @@ func TestColdMissThenHit(t *testing.T) {
 func TestLineSpanningAccess(t *testing.T) {
 	c := smallCache(t, 1024, 64, 2, nil)
 	c.Access(60, 8, false) // spans lines 0 and 1
-	if c.Stats.ReadAccesses != 2 || c.Stats.ReadMisses != 2 {
+	if c.Stats.ReadAccesses() != 2 || c.Stats.ReadMisses() != 2 {
 		t.Fatalf("spanning access: %+v", c.Stats)
 	}
 }
@@ -73,15 +73,15 @@ func TestLRUEviction(t *testing.T) {
 	c.Access(a2, 4, false)
 	c.Access(a0, 4, false) // a0 now MRU
 	c.Access(a4, 4, false) // evicts a2 (LRU)
-	if c.Stats.ReadRepl != 1 {
-		t.Fatalf("replacements = %d want 1", c.Stats.ReadRepl)
+	if c.Stats.ReadRepl() != 1 {
+		t.Fatalf("replacements = %d want 1", c.Stats.ReadRepl())
 	}
 	c.Access(a0, 4, false)
-	if c.Stats.ReadHits != 2 { // a0 hit twice total
+	if c.Stats.ReadHits() != 2 { // a0 hit twice total
 		t.Fatalf("a0 must still be resident: %+v", c.Stats)
 	}
 	c.Access(a2, 4, false)
-	if c.Stats.ReadMisses != 4 { // a0,a2,a4 cold + a2 again
+	if c.Stats.ReadMisses() != 4 { // a0,a2,a4 cold + a2 again
 		t.Fatalf("a2 must have been evicted: %+v", c.Stats)
 	}
 }
@@ -91,10 +91,10 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 	l1 := smallCache(t, 128, 64, 1, l2) // 2 sets, direct mapped
 	// Write to line 0 (set 0): write-allocate reads from L2.
 	l1.Access(0, 4, true)
-	if l1.Stats.WriteMisses != 1 {
+	if l1.Stats.WriteMisses() != 1 {
 		t.Fatalf("write miss expected: %+v", l1.Stats)
 	}
-	if l2.Stats.ReadAccesses != 1 {
+	if l2.Stats.ReadAccesses() != 1 {
 		t.Fatalf("write-allocate must fetch from next level: %+v", l2.Stats)
 	}
 	// Conflict: line 2 maps to set 0 as well; dirty line 0 must write back.
@@ -102,7 +102,7 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 	if l1.Stats.Writebacks != 1 {
 		t.Fatalf("writeback expected: %+v", l1.Stats)
 	}
-	if l2.Stats.WriteAccesses != 1 {
+	if l2.Stats.WriteAccesses() != 1 {
 		t.Fatalf("writeback must reach L2 as a write: %+v", l2.Stats)
 	}
 }
@@ -116,10 +116,10 @@ func TestAssociativityHoldsWorkingSet(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		c.Access(uint64(i*64), 4, false)
 	}
-	if c.Stats.ReadHits != 8 || c.Stats.ReadMisses != 8 {
+	if c.Stats.ReadHits() != 8 || c.Stats.ReadMisses() != 8 {
 		t.Fatalf("8-line working set must fit: %+v", c.Stats)
 	}
-	if c.Stats.ReadRepl != 0 {
+	if c.Stats.ReadRepl() != 0 {
 		t.Fatalf("no replacements expected: %+v", c.Stats)
 	}
 }
@@ -132,7 +132,7 @@ func TestThrashingSet(t *testing.T) {
 			c.Access(uint64(i*64), 4, false)
 		}
 	}
-	if c.Stats.ReadHits != 0 {
+	if c.Stats.ReadHits() != 0 {
 		t.Fatalf("LRU must thrash on 9-line cycle: %+v", c.Stats)
 	}
 }
@@ -145,7 +145,7 @@ func TestResetClears(t *testing.T) {
 		t.Fatal("reset must clear stats")
 	}
 	c.Access(0, 4, false)
-	if c.Stats.ReadMisses != 1 {
+	if c.Stats.ReadMisses() != 1 {
 		t.Fatal("reset must clear contents")
 	}
 }
@@ -153,19 +153,28 @@ func TestResetClears(t *testing.T) {
 func TestZeroSizeAccessCountsOnce(t *testing.T) {
 	c := smallCache(t, 1024, 64, 2, nil)
 	c.Access(10, 0, false)
-	if c.Stats.ReadAccesses != 1 {
+	if c.Stats.ReadAccesses() != 1 {
 		t.Fatalf("zero-size access should count one line: %+v", c.Stats)
 	}
 }
 
 func TestStatsCheckDetectsCorruption(t *testing.T) {
-	s := Stats{ReadAccesses: 3, ReadHits: 1, ReadMisses: 1}
+	// Accesses = hits + misses holds structurally (accesses are derived), so
+	// the remaining invariant is replacements never exceeding misses.
+	s := Stats{Hits: [2]uint64{1}, Misses: [2]uint64{1}, Repl: [2]uint64{5}}
 	if err := s.Check(); err == nil {
-		t.Fatal("inconsistent stats must fail Check")
+		t.Fatal("read repl > misses must fail Check")
 	}
-	s = Stats{ReadAccesses: 2, ReadHits: 1, ReadMisses: 1, ReadRepl: 5}
+	s = Stats{Hits: [2]uint64{0, 1}, Misses: [2]uint64{0, 1}, Repl: [2]uint64{0, 5}}
 	if err := s.Check(); err == nil {
-		t.Fatal("repl > misses must fail Check")
+		t.Fatal("write repl > misses must fail Check")
+	}
+	s = Stats{Hits: [2]uint64{4, 2}, Misses: [2]uint64{3, 1}, Repl: [2]uint64{2, 1}}
+	if err := s.Check(); err != nil {
+		t.Fatalf("consistent stats must pass Check: %v", err)
+	}
+	if s.ReadAccesses() != 7 || s.WriteAccesses() != 3 || s.Accesses() != 10 {
+		t.Fatalf("derived accesses wrong: %+v", s)
 	}
 }
 
@@ -208,7 +217,7 @@ func TestHierarchyTableIX86(t *testing.T) {
 	}
 	// A data miss must propagate L1D → L2 → L3 → memory.
 	h.Data(4096, 4, false)
-	if h.L1D.Stats.ReadMisses != 1 || h.L2.Stats.ReadMisses != 1 || h.L3.Stats.ReadMisses != 1 {
+	if h.L1D.Stats.ReadMisses() != 1 || h.L2.Stats.ReadMisses() != 1 || h.L3.Stats.ReadMisses() != 1 {
 		t.Fatal("miss did not propagate through hierarchy")
 	}
 	if h.L3.MemAccesses != 1 {
@@ -249,7 +258,7 @@ func TestInstructionPathSharesL2(t *testing.T) {
 	h.Fetch(0, 4)
 	h.Data(0, 4, false)
 	// L1I miss then L1D miss both go to L2; second one hits in L2.
-	if h.L2.Stats.ReadAccesses != 2 || h.L2.Stats.ReadHits != 1 {
+	if h.L2.Stats.ReadAccesses() != 2 || h.L2.Stats.ReadHits() != 1 {
 		t.Fatalf("shared L2 stats: %+v", h.L2.Stats)
 	}
 }

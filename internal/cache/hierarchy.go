@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // HierarchyConfig describes a full CPU cache hierarchy in the shape of
 // Figure 3/Table I: split L1 (data + instruction), a unified L2, and an
@@ -24,6 +27,10 @@ type Hierarchy struct {
 	L1I *Cache
 	L2  *Cache
 	L3  *Cache // nil when absent
+
+	// touches is the reusable classification journal of the resident-span
+	// fast path (Hierarchies are single-goroutine, like sim machines).
+	touches []touch
 }
 
 // NewHierarchy builds the hierarchy from a configuration.
@@ -64,39 +71,229 @@ func (h *Hierarchy) Fetch(addr uint64, size uint32) int {
 }
 
 // RunSite is one strided data access of a uniform loop span (the cache-side
-// mirror of the executor protocol's loop-run site).
+// mirror of the executor protocol's loop-run site): the address at the
+// first iteration plus per-iteration (Step), per-row (RowStep) and per-plane
+// (PlaneStep) deltas.
 type RunSite struct {
-	Addr    uint64
-	Step    int64
-	RowStep int64
-	Size    uint16
-	Write   bool
+	Addr      uint64
+	Step      int64
+	RowStep   int64
+	PlaneStep int64
+	Size      uint16
+	Write     bool
 }
 
-// DataRun replays rows×count iterations of interleaved strided accesses
-// through the data hierarchy, in exactly the order per-access Data calls
-// would take. Living inside the cache package lets it reach accessLine
+// DataRun replays planes×rows×count iterations of interleaved strided
+// accesses through the data hierarchy, in exactly the order per-access Data
+// calls would take. Living inside the cache package lets it reach accessLine
 // directly, which removes the per-access wrapper cost of the hottest
-// simulator loop.
-func (h *Hierarchy) DataRun(count, rows int, sites []RunSite) {
-	l1d := h.L1D
+// simulator loop. Spans whose lines are all resident in L1D take the bulk
+// resident fast path (see TryDataRunResident); the result is bit-identical
+// either way.
+func (h *Hierarchy) DataRun(count, rows, planes int, sites []RunSite) {
 	if rows < 1 {
 		rows = 1
 	}
-	for j := 0; j < rows; j++ {
-		for i := 0; i < count; i++ {
-			for s := range sites {
-				st := &sites[s]
-				addr := st.Addr + uint64(int64(j)*st.RowStep+int64(i)*st.Step)
-				first := addr >> l1d.lineShift
-				if st.Size <= 1 || (addr+uint64(st.Size)-1)>>l1d.lineShift == first {
-					l1d.accessLine(first, st.Write)
-				} else {
-					l1d.accessSpan(first, (addr+uint64(st.Size)-1)>>l1d.lineShift, st.Write)
+	if planes < 1 {
+		planes = 1
+	}
+	if h.TryDataRunResident(count, rows, planes, sites) {
+		return
+	}
+	l1d := h.L1D
+	for k := 0; k < planes; k++ {
+		for j := 0; j < rows; j++ {
+			for i := 0; i < count; i++ {
+				for s := range sites {
+					st := &sites[s]
+					addr := st.Addr + uint64(int64(k)*st.PlaneStep+int64(j)*st.RowStep+int64(i)*st.Step)
+					w := b2i(st.Write)
+					first := addr >> l1d.lineShift
+					if st.Size <= 1 || (addr+uint64(st.Size)-1)>>l1d.lineShift == first {
+						l1d.accessLine(first, w)
+					} else {
+						l1d.accessSpan(first, (addr+uint64(st.Size)-1)>>l1d.lineShift, w)
+					}
 				}
 			}
 		}
 	}
+}
+
+// touch is one distinct line visit recorded by the resident-span
+// classification pass: the line's flat way-storage index, its set, the LRU
+// stamp the line holds after the span (the stamp of its last access within
+// the span), and the dirty bit contributed by write sites.
+type touch struct {
+	stamp uint64
+	dirty uint64
+	idx   int32
+	set   int32
+}
+
+const (
+	// residentMinAccesses gates the fast path: spans with fewer accesses
+	// replay scalar — the classification pass would cost more than it saves.
+	residentMinAccesses = 8
+	// maxResidentTouches bounds the classification journal (pathologically
+	// line-dense spans fall back to the scalar replay).
+	maxResidentTouches = 4096
+)
+
+// TryDataRunResident attempts the resident-span fast path: when every line
+// the span touches is already resident in L1D, no access can miss — hits
+// never evict — so the span's only effects are hit counters, LRU stamps,
+// MRU slots and dirty bits. Those are computed in O(distinct line visits)
+// instead of O(accesses): a read-only probe pass walks each site's strided
+// line segments, records the final stamp each line would carry (the stamp
+// of its last access, derived arithmetically from the interleaved iteration
+// order), and bails without side effects on the first non-resident line.
+// The commit pass then applies stamps max-wise (a line revisited across
+// rows/planes/sites keeps its latest stamp) and maintains the per-set MRU
+// invariant, leaving cache state bit-identical to the scalar replay.
+//
+// The probe pass enumerates per site, not in access order — the journal is
+// order-independent — which lets a site whose rows (and planes) continue
+// each other in memory (RowStep == Count*Step, PlaneStep == Rows*RowStep)
+// collapse into one linear walk over its whole address range. The stamp of
+// a line's last access needs only that access's iteration ordinal, which
+// the linear walk preserves.
+//
+// Sites whose accesses could straddle a line boundary (size not a
+// power-of-two divisor of the line size, or misaligned address/steps) and
+// negative inner steps fall back. It reports whether the span was applied.
+func (h *Hierarchy) TryDataRunResident(count, rows, planes int, sites []RunSite) bool {
+	l1 := h.L1D
+	ns := len(sites)
+	if ns == 0 || count < 1 || rows < 1 || planes < 1 {
+		return false
+	}
+	perSite := planes * rows * count
+	if perSite*ns < residentMinAccesses {
+		return false
+	}
+	shift := l1.lineShift
+	lineBytes := uint64(1) << shift
+	tr := h.touches[:0]
+	stamp0 := l1.stamp
+	nsU := uint64(ns)
+	ordRow := uint64(count)        // iteration ordinals per row
+	ordPlane := uint64(rows) * ordRow // and per plane
+	for s := range sites {
+		st := &sites[s]
+		sz := uint64(st.Size)
+		if sz == 0 {
+			sz = 1
+		}
+		// Alignment test: a power-of-two size that divides the line size,
+		// with address and live steps all size-aligned, can never cross a
+		// line boundary (two's complement keeps the low bits of negative
+		// steps, so the OR works for them too).
+		or := st.Addr | uint64(st.Step)
+		if rows > 1 {
+			or |= uint64(st.RowStep)
+		}
+		if planes > 1 {
+			or |= uint64(st.PlaneStep)
+		}
+		if st.Step < 0 || sz&(sz-1) != 0 || sz > lineBytes || or&(sz-1) != 0 {
+			h.touches = tr
+			return false
+		}
+		step := uint64(st.Step)
+		// Power-of-two steps (the overwhelmingly common strides) replace the
+		// per-line division below by a shift; stepLog < 0 marks the rest.
+		stepLog := -1
+		if step&(step-1) == 0 {
+			stepLog = bits.TrailingZeros64(step)
+		}
+		dirty := uint64(b2i(st.Write)) << dirtyShift
+		stampOff := uint64(s) + 1
+		// Fold rows (then planes) into the inner walk when they continue
+		// each other in memory: the access ordinal stays the segment-local
+		// index, so stamps are unchanged and line visits collapse.
+		cEff := uint64(count)
+		rEff, pEff := rows, planes
+		rowStep, planeStep := st.RowStep, st.PlaneStep
+		if rEff > 1 && uint64(rowStep) == cEff*step {
+			cEff *= uint64(rEff)
+			rEff = 1
+		}
+		if rEff == 1 && pEff > 1 && uint64(planeStep) == cEff*step {
+			cEff *= uint64(pEff)
+			pEff = 1
+		}
+		cm1 := cEff - 1
+		for k := 0; k < pEff; k++ {
+			segBase := st.Addr + uint64(int64(k)*planeStep)
+			ordK := uint64(k) * ordPlane
+			for j := 0; j < rEff; j++ {
+				base := segBase + uint64(int64(j)*rowStep)
+				ordBase := ordK + uint64(j)*ordRow
+				line := base >> shift
+				last := (base + cm1*step) >> shift
+				if line == last {
+					// Whole segment on one line (always for Step == 0).
+					idx, set := l1.findLine(line)
+					if idx < 0 || len(tr) >= maxResidentTouches {
+						h.touches = tr
+						return false
+					}
+					tr = append(tr, touch{
+						stamp: stamp0 + (ordBase+cm1)*nsU + stampOff,
+						dirty: dirty, idx: idx, set: set})
+					continue
+				}
+				for i := uint64(0); ; {
+					iLast := cm1
+					if line != last {
+						span := ((line+1)<<shift) - 1 - base
+						if stepLog >= 0 {
+							iLast = span >> stepLog
+						} else {
+							iLast = span / step
+						}
+					}
+					idx, set := l1.findLine(line)
+					if idx < 0 || len(tr) >= maxResidentTouches {
+						h.touches = tr
+						return false
+					}
+					tr = append(tr, touch{
+						stamp: stamp0 + (ordBase+iLast)*nsU + stampOff,
+						dirty: dirty, idx: idx, set: set})
+					if iLast == cm1 {
+						break
+					}
+					i = iLast + 1
+					line = (base + i*step) >> shift
+				}
+			}
+		}
+	}
+	// Commit: every access is an L1D hit. Stamps apply max-wise — within
+	// one (plane,row) a line shared by two sites gets its later stamp even
+	// when the earlier-indexed site touched it at a later iteration — and
+	// the MRU slot follows the running per-set maximum (pre-span MRU always
+	// holds the set's max LRU, and every span stamp exceeds pre-span ones).
+	assoc := int32(l1.assoc)
+	for t := range tr {
+		e := &tr[t]
+		ln := &l1.lines[e.idx]
+		ln.tag |= e.dirty
+		if e.stamp > ln.lru {
+			ln.lru = e.stamp
+			if e.stamp >= l1.lines[e.set*assoc+l1.mru[e.set]].lru {
+				l1.mru[e.set] = e.idx - e.set*assoc
+			}
+		}
+	}
+	for s := range sites {
+		l1.Stats.Hits[b2i(sites[s].Write)] += uint64(perSite)
+	}
+	l1.stamp = stamp0 + uint64(perSite)*nsU
+	h.touches = tr[:0]
+	return true
 }
 
 // Levels returns the instantiated levels with names, in L1D, L1I, L2[, L3]

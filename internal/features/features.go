@@ -45,12 +45,12 @@ func FromStats(st *sim.Stats) Sample {
 	for _, lv := range st.Caches {
 		s := lv.Stats
 		raw = append(raw,
-			ratio(s.ReadHits, s.ReadAccesses),
-			ratio(s.ReadMisses, s.ReadAccesses),
-			ratio(s.ReadRepl, s.ReadAccesses),
-			ratio(s.WriteHits, s.WriteAccesses),
-			ratio(s.WriteMisses, s.WriteAccesses),
-			ratio(s.WriteRepl, s.WriteAccesses),
+			ratio(s.ReadHits(), s.ReadAccesses()),
+			ratio(s.ReadMisses(), s.ReadAccesses()),
+			ratio(s.ReadRepl(), s.ReadAccesses()),
+			ratio(s.WriteHits(), s.WriteAccesses()),
+			ratio(s.WriteMisses(), s.WriteAccesses()),
+			ratio(s.WriteRepl(), s.WriteAccesses()),
 		)
 	}
 	return Sample{Raw: raw, Total: float64(st.Total)}

@@ -22,11 +22,15 @@ func fakeStats() *sim.Stats {
 	st.Branches = 10
 	st.Caches = []sim.LevelStats{
 		{Name: "L1D", Stats: cache.Stats{
-			ReadAccesses: 100, ReadHits: 90, ReadMisses: 10, ReadRepl: 5,
-			WriteAccesses: 50, WriteHits: 40, WriteMisses: 10, WriteRepl: 2,
+			// reads: 100 accesses = 90 hits + 10 misses, 5 replacements;
+			// writes: 50 accesses = 40 hits + 10 misses, 2 replacements.
+			Hits:   [2]uint64{cache.KindRead: 90, cache.KindWrite: 40},
+			Misses: [2]uint64{cache.KindRead: 10, cache.KindWrite: 10},
+			Repl:   [2]uint64{cache.KindRead: 5, cache.KindWrite: 2},
 		}},
 		{Name: "L2", Stats: cache.Stats{
-			ReadAccesses: 10, ReadHits: 8, ReadMisses: 2,
+			Hits:   [2]uint64{cache.KindRead: 8},
+			Misses: [2]uint64{cache.KindRead: 2},
 		}},
 	}
 	return st

@@ -158,6 +158,21 @@ func Build(s *schedule.Schedule, model isa.Model) (*Program, error) {
 			}
 			p.parentTileStep = p.tileStride[dp]
 		}
+		if nl >= 3 {
+			dg := nl - 3
+			for _, g := range p.levels[d].Guards {
+				p.grandGuardStep = append(p.grandGuardStep, g.Value.coefOf(dg))
+			}
+			for _, site := range p.bodyLoads {
+				p.grandElemStep = append(p.grandElemStep, site.Elem.coefOf(dg))
+				if site.CanOOB {
+					for k := range site.Dims {
+						p.grandDimStep = append(p.grandDimStep, site.Dims[k].coefOf(dg))
+					}
+				}
+			}
+			p.grandTileStep = p.tileStride[dg]
+		}
 	}
 	for _, lv := range p.levels {
 		if len(lv.Guards) > p.maxGuards {

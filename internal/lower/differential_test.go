@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/hw"
 	"repro/internal/isa"
 	"repro/internal/lower"
@@ -84,6 +85,78 @@ func diffCases() []diffCase {
 			_ = s.Vectorize(ow)
 			return wl, s
 		}},
+		{"matmul-reduce-3deep", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			// k split twice gives a 3-deep all-reduce tail (ko, ki, kii):
+			// the grandparent-of-inner path with its 3D nest-box
+			// aggregation, including guarded split tails (10 % 4 != 0).
+			wl := te.MatMul(9, 7, 10)
+			s := schedule.New(wl.Op)
+			_, ki, err := s.Split(s.Leaves[2], 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Split(ki, 2); err != nil {
+				t.Fatal(err)
+			}
+			return wl, s
+		}},
+		{"conv-strided-3deep", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			// Stride-2 padded conv: boundary rows clip kh/kw asymmetrically,
+			// so 3D boxes, 2D rectangles and per-row segment fallbacks all
+			// fire within one execution.
+			wl := te.ConvGroup(te.ScaleTiny, 2)
+			return wl, schedule.New(wl.Op)
+		}},
+		{"dense-split-reduce-3deep", func(t *testing.T) (*te.Workload, *schedule.Schedule) {
+			// DenseBiasRelu with the reduction split: reduce levels carry a
+			// guard on the split tail while spatial guards sit above.
+			wl := te.DenseBiasRelu(3, 17, 5)
+			s := schedule.New(wl.Op)
+			if _, _, err := s.Split(s.Leaves[2], 5); err != nil {
+				t.Fatal(err)
+			}
+			return wl, s
+		}},
+	}
+}
+
+// TestBlockAggregationTinyCacheBitIdentical re-runs every differential case
+// against a deliberately tiny L1D (8 sets × 1 way): working sets overflow
+// sets constantly, so the resident fast path rejects most spans
+// mid-execution and the scalar replay evicts — the mixed fast/slow
+// interleaving must still be bit-identical to the per-instruction stream.
+func TestBlockAggregationTinyCacheBitIdentical(t *testing.T) {
+	tiny := cache.HierarchyConfig{
+		L1D: cache.Config{Name: "L1D", SizeBytes: 8 * 64, LineBytes: 64, Assoc: 1},
+		L1I: cache.Config{Name: "L1I", SizeBytes: 1024, LineBytes: 64, Assoc: 2},
+		L2:  cache.Config{Name: "L2", SizeBytes: 8 * 1024, LineBytes: 64, Assoc: 2},
+	}
+	runOne := func(t *testing.T, tc diffCase, exec func(*lower.Program, lower.Sink, bool)) *sim.Stats {
+		_, s := tc.build(t)
+		prog, err := lower.Build(s, isa.Lookup(isa.RISCV))
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		m, err := sim.New(isa.RISCV, tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec(prog, m, false)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("cache invariants: %v", err)
+		}
+		return m.Stats()
+	}
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runOne(t, tc, lower.ExecutePerInstruction)
+			agg := runOne(t, tc, lower.Execute)
+			ref.SimWallSeconds, agg.SimWallSeconds = 0, 0
+			ref.SinkEvents, agg.SinkEvents = 0, 0
+			if !reflect.DeepEqual(ref, agg) {
+				t.Errorf("sim stats differ:\nper-instr: %+v\naggregated: %+v", ref, agg)
+			}
+		})
 	}
 }
 

@@ -30,12 +30,16 @@
 //     a per-instruction walk would have fetched a new L1I line). Order is
 //     significant — data accesses and fetch misses share the L2 — and is
 //     bit-identical to the per-instruction stream's cache access order.
-//   - ConsumeLoop(run): a uniform inner-loop span — Count iterations whose
-//     guard outcomes, padding checks and spill status the executor has
-//     proven constant — shipped as one message of strided access sites. The
-//     sink replays the accesses in interleaved iteration order, which is
-//     exactly the order the span's per-event stream would have had.
-//     ConsumeLoop calls are ordered relative to Consume batches.
+//   - ConsumeLoop(run): a uniform loop span — Planes × Rows × Count
+//     iterations whose guard outcomes, padding checks and spill status the
+//     executor has proven constant — shipped as one message of strided
+//     access sites. Plain inner-loop spans have Rows = Planes = 1; a
+//     uniform parent×inner nest rectangle raises Rows, and a uniform
+//     grandparent×parent×inner nest box raises Planes, so whole 3D loop
+//     nests arrive as a single protocol event. The sink replays the
+//     accesses in interleaved iteration order, which is exactly the order
+//     the span's per-event stream would have had. ConsumeLoop calls are
+//     ordered relative to Consume batches.
 //   - ConsumeCounts(counts): bulk per-class instruction counts plus flagged-
 //     branch tallies (loop exits, guard branches) aggregated over the whole
 //     execution. These quantities are order-independent: they feed pure
@@ -119,25 +123,28 @@ type Counts struct {
 }
 
 // LoopSite is one strided data access of a LoopRun: the address at the
-// first iteration plus per-iteration and per-row deltas. It is the cache
-// package's RunSite so sinks can hand the sites straight to
+// first iteration plus per-iteration, per-row and per-plane deltas. It is
+// the cache package's RunSite so sinks can hand the sites straight to
 // cache.Hierarchy.DataRun without copying.
 type LoopSite = cache.RunSite
 
-// LoopRun describes a uniform loop span: Rows × Count iterations that each
-// access the Sites in order, with every site's address advancing by Step
-// per inner iteration and RowStep per row. Replaying `for j in [0,Rows):
-// for i in [0,Count): for s in Sites: access(s.Addr + j*s.RowStep +
-// i*s.Step)` is bit-identical to the interleaved per-event stream the span
-// would otherwise emit — the executor proves uniformity (guards, padding
-// checks and spill status constant across the span) before emitting one.
-// Rows is 1 for plain inner-loop spans and the row count when a whole
-// parent×inner nest rectangle is uniform. The struct is only valid during
-// the ConsumeLoop call.
+// LoopRun describes a uniform loop span: Planes × Rows × Count iterations
+// that each access the Sites in order, with every site's address advancing
+// by Step per inner iteration, RowStep per row and PlaneStep per plane.
+// Replaying `for k in [0,Planes): for j in [0,Rows): for i in [0,Count):
+// for s in Sites: access(s.Addr + k*s.PlaneStep + j*s.RowStep + i*s.Step)`
+// is bit-identical to the interleaved per-event stream the span would
+// otherwise emit — the executor proves uniformity (guards, padding checks
+// and spill status constant across the span) before emitting one. Rows and
+// Planes are 1 for plain inner-loop spans; Rows > 1 covers a uniform
+// parent×inner nest rectangle and Planes > 1 a uniform three-level
+// grandparent×parent×inner nest box. The struct is only valid during the
+// ConsumeLoop call.
 type LoopRun struct {
-	Count int
-	Rows  int
-	Sites []LoopSite
+	Count  int
+	Rows   int
+	Planes int
+	Sites  []LoopSite
 }
 
 // Sink consumes one program execution: the ordered event stream through

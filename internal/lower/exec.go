@@ -262,6 +262,16 @@ func (c *execCtx) runParentOfInner(d int, lv *level, blockBase uint64) {
 	if len(p.tileLevels) > 0 {
 		tile = c.tileIdx() - cv*p.innerTileStep
 	}
+	c.runParentRows(d, lv, child, blockBase, gb, eb, db, tile)
+}
+
+// runParentRows is the row loop of runParentOfInner: it executes all
+// parent iterations given child affine bases positioned at (parent 0,
+// inner 0), advancing the bases by the parent strides as it goes (they end
+// up advanced by Extent×parent-step). Factored out so the grandparent path
+// can drive it per plane with bases it has hoisted one level further.
+func (c *execCtx) runParentRows(d int, lv, child *level, blockBase uint64, gb, eb, db []int, tile int) {
+	p := c.p
 	nd := p.innerDimOff[len(p.bodyLoads)]
 	// 2D aggregation: when the parent is plain (no guards/hoisted loads, not
 	// unrolled, single I-line, no spill traffic) and every affine condition
@@ -277,7 +287,7 @@ func (c *execCtx) runParentOfInner(d int, lv *level, blockBase uint64) {
 	for i := 0; i < lv.Extent; i++ {
 		if i == j2lo && j2hi > j2lo {
 			rows := j2hi - j2lo
-			if c.runNest2DBlock(lv, child, blockBase, gb, eb, db, rows, j2hi == lv.Extent) {
+			if c.runNestBlock(lv, child, blockBase, gb, eb, db, rows, 1, j2hi == lv.Extent, false, false) {
 				for gi := range gb {
 					gb[gi] += rows * p.parentGuardStep[gi]
 				}
@@ -393,12 +403,219 @@ func (c *execCtx) nest2DRows(lv, child *level, gb, db []int) (int, int) {
 	return jLo, jHi
 }
 
-// runNest2DBlock executes rows consecutive parent iterations whose whole
-// parent×inner rectangle is uniform, as bulk counts plus one 2D LoopRun.
-// Bases must be positioned at the first block row. Returns false when the
-// inner range is not a single uniform segment (per-row execution handles
-// those shapes).
-func (c *execCtx) runNest2DBlock(lv, child *level, blockBase uint64, gb, eb, db []int, rows int, lastRows bool) bool {
+// runGrandParentOfInner executes the grandparent of the innermost scalar
+// loop with the inner affine bases hoisted two levels: evaluated once at
+// the first plane and advanced by the Program.grand*Step deltas per
+// grandparent iteration, so the per-plane base evaluation of
+// runParentOfInner vanishes too. When the whole grandparent×parent×inner
+// nest box is uniform over a range of planes, those planes ship as one 3D
+// LoopRun (the third loop level of the rectangle aggregation); other
+// planes fall back to the 2D row machinery via runParentRows.
+func (c *execCtx) runGrandParentOfInner(d int, lv *level, blockBase uint64) {
+	p := c.p
+	parent := p.levels[d+1]
+	child := p.levels[d+2]
+	c.vals[d] = 0
+	// Bases at (grand 0, parent 0, inner 0): subtract the stale
+	// contributions of both descendant levels — their last values stay
+	// visible to guard/hoisted evaluations, as the generic path leaves them.
+	pv, cv := c.vals[d+1], c.vals[d+2]
+	gb := c.innerGuardBase[:len(child.Guards)]
+	for gi := range child.Guards {
+		gb[gi] = child.Guards[gi].Value.eval(c.vals) - pv*p.parentGuardStep[gi] - cv*p.innerGuardStep[gi]
+	}
+	eb := c.innerElemBase
+	db := c.innerDimBase
+	di := 0
+	for si, site := range p.bodyLoads {
+		eb[si] = site.Elem.eval(c.vals) - pv*p.parentElemStep[si] - cv*p.innerElemStep[si]
+		if site.CanOOB {
+			isteps := p.innerDimStep[si]
+			for k := range site.Dims {
+				db[di+k] = site.Dims[k].eval(c.vals) - pv*p.parentDimStep[di+k] - cv*isteps[k]
+			}
+			di += len(site.Dims)
+		}
+	}
+	tile := 0
+	if len(p.tileLevels) > 0 {
+		tile = c.tileIdx() - pv*p.parentTileStep - cv*p.innerTileStep
+	}
+	nd := p.innerDimOff[len(p.bodyLoads)]
+	pExt := parent.Extent
+	// 3D aggregation: both enclosing levels must be plain and the whole
+	// grandparent iteration block single-I-line; nest3DPlanes then bounds
+	// the plane range over which the full parent×inner rectangle repeats.
+	k3lo, k3hi := 0, 0
+	if len(lv.Guards) == 0 && len(lv.Hoisted) == 0 && !lv.Unrolled &&
+		len(parent.Guards) == 0 && len(parent.Hoisted) == 0 && !parent.Unrolled &&
+		!child.Unrolled && p.spillRegs == 0 &&
+		blockBase&^63 == (blockBase+lv.PerIterSize-1)&^63 {
+		k3lo, k3hi = c.nest3DPlanes(lv, parent, child, gb, db)
+	}
+	for k := 0; k < lv.Extent; k++ {
+		if k == k3lo && k3hi > k3lo {
+			planes := k3hi - k3lo
+			if c.runNestBlock(parent, child, blockBase+parent.BlockOff, gb, eb, db,
+				pExt, planes, true, true, k3hi == lv.Extent) {
+				for gi := range gb {
+					gb[gi] += planes * p.grandGuardStep[gi]
+				}
+				for si := range eb {
+					eb[si] += planes * p.grandElemStep[si]
+				}
+				for j := 0; j < nd; j++ {
+					db[j] += planes * p.grandDimStep[j]
+				}
+				tile += planes * p.grandTileStep
+				c.vals[d] = k3hi - 1
+				c.vals[d+1] = pExt - 1
+				c.vals[d+2] = child.Extent - 1
+				k = k3hi - 1
+				continue
+			}
+			k3hi = k3lo // ineligible nest shape: stay on the per-plane path
+		}
+		c.vals[d] = k
+		iterBase := blockBase
+		if lv.Unrolled {
+			iterBase += uint64(k) * lv.PerIterSize
+		}
+		c.pc = iterBase
+		if c.passGuards(lv) {
+			for _, site := range lv.Hoisted {
+				c.scalarLoad(site)
+			}
+			c.runParentRows(d+1, parent, child, iterBase+parent.BlockOff, gb, eb, db, tile)
+			// runParentRows advanced the bases across all parent rows;
+			// rewind to this plane's base before stepping to the next plane.
+			for gi := range gb {
+				gb[gi] -= pExt * p.parentGuardStep[gi]
+			}
+			for si := range eb {
+				eb[si] -= pExt * p.parentElemStep[si]
+			}
+			for j := 0; j < nd; j++ {
+				db[j] -= pExt * p.parentDimStep[j]
+			}
+		}
+		if !lv.Unrolled {
+			c.instFast(isa.ALU)
+			c.instFast(isa.Branch)
+			if k == lv.Extent-1 {
+				c.counts.LoopExits++
+			}
+		}
+		// Advance the hoisted bases to the next plane (also when guards
+		// failed: the affines advance regardless).
+		for gi := range gb {
+			gb[gi] += p.grandGuardStep[gi]
+		}
+		for si := range eb {
+			eb[si] += p.grandElemStep[si]
+		}
+		for j := 0; j < nd; j++ {
+			db[j] += p.grandDimStep[j]
+		}
+		tile += p.grandTileStep
+	}
+}
+
+// nest3DPlanes returns the grandparent-iteration range over which the
+// whole grandparent×parent×inner nest box is uniform: every affine
+// condition must vary with at most one of the three levels (no diagonal
+// boundaries), plane-varying conditions must pass throughout the returned
+// planes, and parent-varying conditions must pass for every row (a
+// partial-row rectangle cannot be plane-aggregated). An empty range means
+// no 3D aggregation.
+func (c *execCtx) nest3DPlanes(lv, parent, child *level, gb, db []int) (int, int) {
+	p := c.p
+	gExt := lv.Extent
+	pExt := parent.Extent
+	kLo, kHi := 0, gExt
+	for gi := range gb {
+		gd := p.grandGuardStep[gi]
+		pd := p.parentGuardStep[gi]
+		switch {
+		case gd != 0:
+			if pd != 0 || p.innerGuardStep[gi] != 0 {
+				return 0, 0
+			}
+			lo, hi := linearBelow(gb[gi], gd, child.Guards[gi].Extent, gExt)
+			if lo > kLo {
+				kLo = lo
+			}
+			if hi < kHi {
+				kHi = hi
+			}
+		case pd != 0:
+			if p.innerGuardStep[gi] != 0 {
+				return 0, 0
+			}
+			if lo, hi := linearBelow(gb[gi], pd, child.Guards[gi].Extent, pExt); lo != 0 || hi != pExt {
+				return 0, 0
+			}
+		default:
+			// inner-varying or constant; the block check handles it
+		}
+	}
+	di := 0
+	for si, site := range p.bodyLoads {
+		if !site.CanOOB {
+			continue
+		}
+		isteps := p.innerDimStep[si]
+		for k := range isteps {
+			gd := p.grandDimStep[di+k]
+			pd := p.parentDimStep[di+k]
+			switch {
+			case gd != 0:
+				if pd != 0 || isteps[k] != 0 {
+					return 0, 0
+				}
+				lo, hi := linearAtLeast(db[di+k], gd, 0, gExt)
+				if lo > kLo {
+					kLo = lo
+				}
+				if hi < kHi {
+					kHi = hi
+				}
+				lo, hi = linearBelow(db[di+k], gd, site.Tensor.Shape[k], gExt)
+				if lo > kLo {
+					kLo = lo
+				}
+				if hi < kHi {
+					kHi = hi
+				}
+			case pd != 0:
+				if isteps[k] != 0 {
+					return 0, 0
+				}
+				if lo, hi := linearAtLeast(db[di+k], pd, 0, pExt); lo != 0 || hi != pExt {
+					return 0, 0
+				}
+				if lo, hi := linearBelow(db[di+k], pd, site.Tensor.Shape[k], pExt); lo != 0 || hi != pExt {
+					return 0, 0
+				}
+			}
+		}
+		di += len(isteps)
+	}
+	return kLo, kHi
+}
+
+// runNestBlock executes planes×rows consecutive nest iterations whose
+// whole (grandparent×)parent×inner box is uniform, as bulk counts plus one
+// LoopRun. Bases must be positioned at the first block plane/row. With
+// grand=false it is the 2D rectangle path (planes must be 1): rows
+// consecutive parent iterations, parent overhead included, lastRows adding
+// the parent's own loop exit. With grand=true it covers planes whole
+// grandparent iterations (full parent extent per plane, so rows ==
+// parent.Extent): the per-plane parent loop exit and grandparent overhead
+// are counted here, and lastPlanes adds the grandparent's own loop exit.
+// Returns false when the inner range is not a single uniform segment
+// (per-row/per-plane execution handles those shapes).
+func (c *execCtx) runNestBlock(lv, child *level, blockBase uint64, gb, eb, db []int, rows, planes int, lastRows, grand, lastPlanes bool) bool {
 	p := c.p
 	cExt := child.Extent
 	// Inner guards must pass across the whole inner range.
@@ -438,43 +655,62 @@ func (c *execCtx) runNest2DBlock(lv, child *level, blockBase uint64, gb, eb, db 
 		switch {
 		case lo <= 0 && hi >= cExt:
 			loaded++
+			planeStep := int64(0)
+			if grand {
+				planeStep = int64(p.grandElemStep[si]) * tensor.ElemSize
+			}
 			sites = append(sites, LoopSite{
-				Addr:    site.Tensor.AddrOf(eb[si]),
-				Step:    int64(p.innerElemStep[si]) * tensor.ElemSize,
-				RowStep: int64(p.parentElemStep[si]) * tensor.ElemSize,
-				Size:    tensor.ElemSize,
+				Addr:      site.Tensor.AddrOf(eb[si]),
+				Step:      int64(p.innerElemStep[si]) * tensor.ElemSize,
+				RowStep:   int64(p.parentElemStep[si]) * tensor.ElemSize,
+				PlaneStep: planeStep,
+				Size:      tensor.ElemSize,
 			})
 		case lo >= hi:
-			// padding: skipped across the whole rectangle
+			// padding: skipped across the whole box
 		default:
 			c.loopRun.Sites = sites
 			return false
 		}
 	}
-	// One fetch covers the rectangle: every PC lies on blockBase's line.
+	// One fetch covers the box: every PC lies on blockBase's line.
 	c.pc = blockBase
 	c.fetchLine()
 	ng := uint64(len(gb))
 	flops := uint64(p.bodyFLOPs)
 	// Per inner iteration: guard pairs, padding-check pairs, loads, the FMA
-	// burst and the inner loop overhead; plus parent overhead per row.
+	// burst and the inner loop overhead; plus parent overhead per row and —
+	// for 3D boxes — grandparent overhead per plane.
 	aluCI := ng + canOOB + 1
 	brCI := ng + canOOB + 1
 	nInstrIter := 2*ng + 2*canOOB + loaded + flops + 2
 	rowsU := uint64(rows)
 	cExtU := uint64(cExt)
-	c.counts.ByClass[isa.ALU] += rowsU * (cExtU*aluCI + 1)
-	c.counts.ByClass[isa.Branch] += rowsU * (cExtU*brCI + 1)
-	c.counts.ByClass[isa.FMA] += rowsU * cExtU * flops
-	c.counts.ByClass[isa.Load] += rowsU * cExtU * loaded
-	c.counts.GuardBranches += rowsU * cExtU * (ng + canOOB)
-	c.counts.LoopExits += rowsU // the inner loop exits once per row
-	if lastRows {
+	planesU := uint64(planes)
+	aluPlane := rowsU * (cExtU*aluCI + 1)
+	brPlane := rowsU * (cExtU*brCI + 1)
+	if grand {
+		aluPlane++ // grandparent loop overhead, once per plane
+		brPlane++
+	}
+	c.counts.ByClass[isa.ALU] += planesU * aluPlane
+	c.counts.ByClass[isa.Branch] += planesU * brPlane
+	c.counts.ByClass[isa.FMA] += planesU * rowsU * cExtU * flops
+	c.counts.ByClass[isa.Load] += planesU * rowsU * cExtU * loaded
+	c.counts.GuardBranches += planesU * rowsU * cExtU * (ng + canOOB)
+	c.counts.LoopExits += planesU * rowsU // the inner loop exits once per row
+	if grand {
+		c.counts.LoopExits += planesU // the parent loop exits once per plane
+		if lastPlanes {
+			c.counts.LoopExits++ // the grandparent loop exits on its last plane
+		}
+	} else if lastRows {
 		c.counts.LoopExits++ // the parent loop exits on its last row
 	}
 	if len(sites) > 0 {
 		c.loopRun.Count = cExt
 		c.loopRun.Rows = rows
+		c.loopRun.Planes = planes
 		c.loopRun.Sites = sites
 		if len(c.em.buf) > 0 {
 			c.em.flush() // keep event/loop-run ordering
@@ -483,8 +719,12 @@ func (c *execCtx) runNest2DBlock(lv, child *level, blockBase uint64, gb, eb, db 
 	} else {
 		c.loopRun.Sites = sites
 	}
-	// As after the last row: inner loop done, then the parent overhead pair.
+	// As after the last row: inner loop done, then the parent overhead pair
+	// (and the grandparent pair when the block covers whole planes).
 	c.pc = blockBase + child.BlockOff + (nInstrIter+2)*c.ib
+	if grand {
+		c.pc += 2 * c.ib
+	}
 	return true
 }
 
@@ -775,6 +1015,7 @@ func (c *execCtx) runInnerSegments(d int, lv *level, blockBase uint64, gb, eb, d
 		if len(sites) > 0 {
 			c.loopRun.Count = b - a
 			c.loopRun.Rows = 1
+			c.loopRun.Planes = 1
 			c.loopRun.Sites = sites
 			if len(c.em.buf) > 0 {
 				c.em.flush() // keep event/loop-run ordering
@@ -917,6 +1158,13 @@ func (c *execCtx) runLevel(d int, blockBase uint64) {
 			// this loop and advance them by the parent strides instead of
 			// re-evaluating them per iteration.
 			c.runParentOfInner(d, lv, blockBase)
+			return
+		}
+		if d == len(p.levels)-3 && !p.levels[d+1].Vector && !p.levels[d+2].Vector &&
+			d+1 != p.reduceStart && d+2 != p.reduceStart {
+			// Grandparent of the inner loop: hoist the bases one level
+			// further and aggregate uniform 3D nest boxes.
+			c.runGrandParentOfInner(d, lv, blockBase)
 			return
 		}
 	}

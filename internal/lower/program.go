@@ -162,6 +162,13 @@ type Program struct {
 	parentElemStep  []int
 	parentDimStep   []int // flattened like innerDimOff
 	parentTileStep  int
+	// And w.r.t. the grandparent of the innermost level, for the 3D
+	// nest-box aggregation (bases hoisted out of the grandparent loop,
+	// advanced per plane).
+	grandGuardStep []int
+	grandElemStep  []int
+	grandDimStep   []int // flattened like innerDimOff
+	grandTileStep  int
 	// maxGuards is the largest per-level guard count (scratch sizing).
 	maxGuards int
 }

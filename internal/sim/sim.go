@@ -119,13 +119,14 @@ func (m *Machine) Consume(events []lower.Event) {
 	}
 }
 
-// ConsumeLoop implements lower.Sink: a uniform inner-loop span is replayed
-// as interleaved strided accesses, exactly as its per-event stream would
+// ConsumeLoop implements lower.Sink: a uniform loop span is replayed as
+// interleaved strided accesses, exactly as its per-event stream would
 // arrive (instruction classes arrive through ConsumeCounts). The replay
-// itself runs inside the cache package (Hierarchy.DataRun).
+// itself runs inside the cache package (Hierarchy.DataRun), which takes
+// the bulk resident fast path when every touched line already sits in L1D.
 func (m *Machine) ConsumeLoop(run *lower.LoopRun) {
 	m.events++
-	m.hier.DataRun(run.Count, run.Rows, run.Sites)
+	m.hier.DataRun(run.Count, run.Rows, run.Planes, run.Sites)
 }
 
 // ConsumeCounts implements lower.Sink: bulk per-class instruction counts of

@@ -75,11 +75,11 @@ func TestStatsConsistency(t *testing.T) {
 	// Loads seen by the simulator must equal L1D read accesses (scalar and
 	// vector loads each touch L1D once unless they span lines).
 	l1d, _ := st.Cache("L1D")
-	if l1d.ReadAccesses < st.Loads {
-		t.Fatalf("L1D read accesses %d < load instructions %d", l1d.ReadAccesses, st.Loads)
+	if l1d.ReadAccesses() < st.Loads {
+		t.Fatalf("L1D read accesses %d < load instructions %d", l1d.ReadAccesses(), st.Loads)
 	}
-	if l1d.WriteAccesses < st.Stores {
-		t.Fatalf("L1D write accesses %d < store instructions %d", l1d.WriteAccesses, st.Stores)
+	if l1d.WriteAccesses() < st.Stores {
+		t.Fatalf("L1D write accesses %d < store instructions %d", l1d.WriteAccesses(), st.Stores)
 	}
 	var sum uint64
 	for _, c := range st.Instr {
@@ -112,14 +112,14 @@ func TestInstructionFetchLineGranular(t *testing.T) {
 	lower.Execute(p, m, false)
 	st := m.Stats()
 	l1i, _ := st.Cache("L1I")
-	if l1i.ReadAccesses < 10 {
-		t.Fatalf("expected repeated line fetches, got %d", l1i.ReadAccesses)
+	if l1i.ReadAccesses() < 10 {
+		t.Fatalf("expected repeated line fetches, got %d", l1i.ReadAccesses())
 	}
-	if l1i.ReadAccesses >= st.Total {
+	if l1i.ReadAccesses() >= st.Total {
 		t.Fatalf("line-granular fetches (%d) must be below instruction count (%d)",
-			l1i.ReadAccesses, st.Total)
+			l1i.ReadAccesses(), st.Total)
 	}
-	hitRate := float64(l1i.ReadHits) / float64(l1i.ReadAccesses)
+	hitRate := float64(l1i.ReadHits()) / float64(l1i.ReadAccesses())
 	if hitRate < 0.9 {
 		t.Fatalf("L1I hit rate = %.3f, expected hot loop to hit", hitRate)
 	}
@@ -188,7 +188,7 @@ func TestTilingImprovesL1DHitRate(t *testing.T) {
 			t.Fatal(err)
 		}
 		l1d, _ := st.Cache("L1D")
-		return float64(l1d.ReadHits) / float64(l1d.ReadAccesses)
+		return float64(l1d.ReadHits()) / float64(l1d.ReadAccesses())
 	}
 	plain := hitRate(false)
 	blocked := hitRate(true)
