@@ -240,6 +240,17 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// mustBenchServer builds a service node (the error path is store-only and
+// these configs are memory-only).
+func mustBenchServer(b *testing.B, cfg service.Config) *service.Server {
+	b.Helper()
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
 // serviceBenchBatch builds one measurement batch of distinct candidate
 // schedules (loop-order permutations) of the headline throughput workload.
 func serviceBenchBatch(b *testing.B, n int) []service.Candidate {
@@ -281,7 +292,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	b.Run("miss", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			resp, err := service.NewServer(cfg).Simulate(ctx, req)
+			resp, err := mustBenchServer(b, cfg).Simulate(ctx, req)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -292,7 +303,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
 	})
 	b.Run("hit", func(b *testing.B) {
-		srv := service.NewServer(cfg)
+		srv := mustBenchServer(b, cfg)
 		if _, err := srv.Simulate(ctx, req); err != nil {
 			b.Fatal(err)
 		}
@@ -353,7 +364,7 @@ func BenchmarkRouterThroughput(b *testing.B) {
 		backends := make([]service.Backend, nodes)
 		for i := range ids {
 			ids[i] = fmt.Sprintf("node-%d", i)
-			backends[i] = service.NewServer(cfg)
+			backends[i] = mustBenchServer(b, cfg)
 		}
 		rt, err := service.NewRouterBackends(ids, backends, service.RouterConfig{ProbeInterval: -1})
 		if err != nil {
@@ -362,7 +373,7 @@ func BenchmarkRouterThroughput(b *testing.B) {
 		return rt
 	}
 
-	b.Run("hit-direct", func(b *testing.B) { hitPath(b, service.NewServer(cfg)) })
+	b.Run("hit-direct", func(b *testing.B) { hitPath(b, mustBenchServer(b, cfg)) })
 	b.Run("hit-1node", func(b *testing.B) { hitPath(b, router(1)) })
 	b.Run("hit-3node", func(b *testing.B) { hitPath(b, router(3)) })
 }

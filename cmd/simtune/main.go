@@ -51,7 +51,9 @@ func serve(args []string) error {
 	addr := fs.String("addr", ":8070", "listen address")
 	archsFlag := fs.String("archs", "x86,arm,riscv", "comma-separated served architectures")
 	workers := fs.Int("workers", 4, "simulator instances per architecture shard")
-	cacheCap := fs.Int("cache-cap", 1<<18, "result cache capacity (entries)")
+	cacheCap := fs.Int("cache-cap", 1<<18, "in-memory result cache capacity (entries)")
+	cacheDir := fs.String("cache-dir", "", "durable result store directory; a restarted server recovers its computed corpus from the segment log here (empty = memory only)")
+	segBytes := fs.Int64("cache-seg-bytes", 0, "store segment rotation size in bytes (default 64 MB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,15 +65,29 @@ func serve(args []string) error {
 		}
 		archs = append(archs, arch)
 	}
-	srv := service.NewServer(service.Config{
+	srv, err := service.NewServer(service.Config{
 		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
+		CacheDir: *cacheDir, CacheSegmentBytes: *segBytes,
 	})
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("simtune serve: listening on %s (archs %v, %d workers/arch, cache cap %d)\n",
 		*addr, archs, *workers, *cacheCap)
+	if *cacheDir != "" {
+		st, _ := srv.Statusz(ctx)
+		fmt.Printf("  durable store %s: %d results recovered\n", *cacheDir, st.CacheDiskEntries)
+	}
 	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz\n", *addr, *addr)
-	return srv.ListenAndServe(ctx, *addr)
+	serveErr := srv.ListenAndServe(ctx, *addr)
+	// Flush the write-behind queue so everything computed this lifetime is
+	// recoverable on the next start.
+	if err := srv.Close(); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	return serveErr
 }
 
 // route runs the consistent-hash routing tier over N simulate servers until
@@ -84,6 +100,8 @@ func route(args []string) error {
 	nodesFlag := fs.String("nodes", "", "comma-separated backend server URLs (required), e.g. http://sim-0:8070,http://sim-1:8070")
 	replicas := fs.Int("replicas", 0, "virtual nodes per backend on the hash ring (default 128)")
 	probe := fs.Duration("probe", 2*time.Second, "health-probe interval (a recovered node rejoins within one interval)")
+	handoff := fs.Bool("handoff", true, "warm-handoff on rejoin: replay the keys a recovered node owns from its ring successors before it re-enters rotation")
+	handoffChunk := fs.Int("handoff-chunk", 0, "results per fetch/ingest round trip during handoff (default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +116,7 @@ func route(args []string) error {
 	}
 	rt, err := service.NewRouter(service.RouterConfig{
 		Nodes: nodes, Replicas: *replicas, ProbeInterval: *probe,
+		DisableHandoff: !*handoff, HandoffChunk: *handoffChunk,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,50 @@
+package simtune_test
+
+import (
+	"fmt"
+	"log"
+
+	simtune "repro"
+)
+
+// ExampleTrainScorePredictor mirrors the README library quickstart: train a
+// score predictor on simulator statistics, tune a held-out group on
+// simulators only, and keep the top candidates for on-target validation.
+// It is compiled (not executed) by go test, so the README snippet cannot
+// silently rot.
+func ExampleTrainScorePredictor() {
+	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
+		Arch: simtune.RISCV, Scale: simtune.ScaleSmall, Predictor: "XGBoost",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	records, err := model.TuneGroup(simtune.TuneGroupOptions{Group: 3, Trials: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := simtune.TopK(records, 5) // re-validate these on the real board
+	fmt.Println(len(top))
+}
+
+// ExampleTrainedModel_TuneGroup_service mirrors the README service
+// quickstart: the same tuning run pointed at a shared simulate service (a
+// `simtune serve` node or a `simtune route` router — the wire protocol is
+// identical), with the Eq. (4) cache bookkeeping read back from the
+// records.
+func ExampleTrainedModel_TuneGroup_service() {
+	model, err := simtune.TrainScorePredictor(simtune.TrainOptions{
+		Arch: simtune.RISCV, Scale: simtune.ScaleSmall, Predictor: "XGBoost",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	records, err := model.TuneGroup(simtune.TuneGroupOptions{
+		Group: 3, Trials: 200, ServerURL: "http://localhost:8070",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, misses, simSec := simtune.CacheStats(records) // Eq. (4) bookkeeping
+	fmt.Println(hits, misses, simSec)
+}

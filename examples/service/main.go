@@ -16,6 +16,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 
 	simtune "repro"
 	"repro/internal/service"
@@ -34,10 +36,26 @@ func listen(h http.Handler) string {
 func main() {
 	// Three simulate-server nodes. Each key of the sha256 cache-key space
 	// will live on exactly one of them, so concurrent clients dedupe
-	// globally: the fleet never simulates the same candidate twice.
+	// globally: the fleet never simulates the same candidate twice. Each
+	// node gets a durable store directory (`simtune serve -cache-dir` in
+	// production): a restarted node recovers its computed corpus from the
+	// segment log instead of re-simulating it, and when it rejoins the ring
+	// the router replays any keys it missed from the other nodes.
+	storeRoot, err := os.MkdirTemp("", "simtune-service-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeRoot)
 	var nodeURLs []string
 	for i := 0; i < 3; i++ {
-		node := service.NewServer(service.Config{WorkersPerArch: 2})
+		node, err := service.NewServer(service.Config{
+			WorkersPerArch: 2,
+			CacheDir:       filepath.Join(storeRoot, fmt.Sprintf("node-%d", i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
 		nodeURLs = append(nodeURLs, listen(node.Handler()))
 	}
 

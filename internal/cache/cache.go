@@ -4,6 +4,37 @@
 // next level, and full per-level statistics (read/write accesses, hits,
 // misses, and replacements) — the quantities the score predictor consumes
 // (§III-D).
+//
+// # Hierarchy overview
+//
+// Config describes one level's geometry (size, line, associativity) and
+// HierarchyConfig composes the levels: split L1D/L1I, a unified L2, and an
+// optional L3, as the Table I targets have. Hierarchy instantiates them
+// chained — Data and Fetch are the two entry points, routing demand
+// accesses through L1D or L1I and letting each miss recurse into the next
+// level, so one simulated access updates every level it touches exactly as
+// the modelled inclusive hierarchy would. Each level's Stats (reachable
+// through Levels) holds the per-level counters; they are stored as
+// write-indexed arrays so the simulator hot path is branch-free, with the
+// read/write split recovered by accessor methods (ReadAccesses,
+// WriteMisses, ...).
+//
+// Replay entry points, fastest first:
+//
+//   - DataRun replays a whole uniform loop span (a lower.LoopRun) of
+//     strided access sites in interleaved iteration order.
+//   - TryDataRunResident is the resident-span fast path: if every line a
+//     span touches is already resident in L1D, the span provably cannot
+//     miss or evict, so hit counters, LRU stamps, dirty bits and MRU slots
+//     are bulk-applied in O(distinct lines) — it probes side-effect-free
+//     and reports false (leaving state untouched) the moment a
+//     non-resident line appears, falling back to DataRun.
+//   - Data/Fetch are the scalar per-access path, used for cold and
+//     conflicting accesses and as the bit-identity reference in tests.
+//
+// All paths produce bit-identical statistics; the fuzz suites in
+// datarun_test.go compare full internal state (lines, LRU order, MRU
+// slots, stamps) against the scalar reference.
 package cache
 
 import "fmt"

@@ -177,7 +177,7 @@ func (h *Hierarchy) TryDataRunResident(count, rows, planes int, sites []RunSite)
 	tr := h.touches[:0]
 	stamp0 := l1.stamp
 	nsU := uint64(ns)
-	ordRow := uint64(count)        // iteration ordinals per row
+	ordRow := uint64(count)           // iteration ordinals per row
 	ordPlane := uint64(rows) * ordRow // and per plane
 	for s := range sites {
 		st := &sites[s]
@@ -247,7 +247,7 @@ func (h *Hierarchy) TryDataRunResident(count, rows, planes int, sites []RunSite)
 				for i := uint64(0); ; {
 					iLast := cm1
 					if line != last {
-						span := ((line+1)<<shift) - 1 - base
+						span := ((line + 1) << shift) - 1 - base
 						if stepLog >= 0 {
 							iLast = span >> stepLog
 						} else {

@@ -1,6 +1,10 @@
 // Package num provides the dense linear-algebra and statistics substrate used
 // by the score predictors (MLR normal equations, Gaussian-process Cholesky
-// solves, DNN weight math) and by the experiment drivers.
+// solves, DNN weight math) and by the experiment drivers, plus the
+// deterministic randomness the whole reproduction is seeded from: NewRNG
+// (splitmix64-seeded xoshiro256**) makes every search, dataset and test
+// reproducible from a single uint64 seed, and combinatoric helpers like
+// NthPerm enumerate schedule spaces without materializing them.
 //
 // Everything is float64, row-major, and allocation-explicit; no external
 // dependencies.

@@ -10,6 +10,15 @@
 // SimulatorRunner reproduces the paper's SimulatorRunner (Listing 3): it
 // executes n_parallel instruction-accurate simulator instances concurrently
 // and converts their statistics into scores through a pluggable Scorer.
+//
+// The Runner/Builder interfaces are the seam every execution backend plugs
+// into: candidates travel as (WorkloadFactory, schedule steps) pairs in
+// MeasureInput, builders turn them into BuildResults, and runners return
+// index-aligned MeasureResults (stats, score, cache-hit provenance). The
+// service package's ServiceRunner implements the same pair over a remote
+// simulate fleet, which is why tuners cannot tell local simulators from a
+// shared service. ParallelCtx is the shared cancellable fan-out primitive
+// used by both the local runners and the service's batch executor.
 package runner
 
 import (

@@ -42,11 +42,16 @@ type flight struct {
 // resultCache is the content-addressed result store plus a singleflight
 // layer: concurrent requests for the same key — within one batch or across
 // clients — wait for the first computation instead of duplicating it.
+// When disk is non-nil it is the durable layer beneath the in-memory map:
+// computed results are written behind asynchronously, and a key missing
+// from RAM (restart, eviction) is served from its segment record instead of
+// re-simulated.
 type resultCache struct {
 	mu       sync.Mutex
 	entries  map[Key]Result
 	inflight map[Key]*flight
 	capacity int
+	disk     *Store // nil: memory-only
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -56,13 +61,23 @@ type resultCache struct {
 	// candidates (requests/candidates keep counting), and the Eq. (4)
 	// CacheStats accounting drifts on every aborted batch.
 	canceled atomic.Uint64
+	// diskHits is the subset of hits served from the durable store rather
+	// than RAM (each key pays at most one disk read per process — it is
+	// promoted into the map on first touch). hits already includes them, so
+	// the hits+misses+canceled == candidates reconciliation is unchanged.
+	diskHits atomic.Uint64
+	// handoffKeys counts results ingested through the warm-handoff replay
+	// (/v1/ingest). Handoff entries are not candidate servings, so they
+	// deliberately touch none of the counters above.
+	handoffKeys atomic.Uint64
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, disk *Store) *resultCache {
 	return &resultCache{
 		entries:  make(map[Key]Result),
 		inflight: make(map[Key]*flight),
 		capacity: capacity,
+		disk:     disk,
 	}
 }
 
@@ -74,6 +89,7 @@ func newResultCache(capacity int) *resultCache {
 // inside Result.Err and are cached like successes, since re-submitting a
 // broken candidate would fail identically.
 func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, error)) (r Result, hit bool, err error) {
+	diskChecked := false
 	for {
 		c.mu.Lock()
 		if r, ok := c.entries[k]; ok {
@@ -93,6 +109,23 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 				return Result{}, false, ctx.Err()
 			}
 		}
+		if c.disk != nil && !diskChecked {
+			// Not in RAM and nobody is computing it: the durable layer may
+			// hold it from a previous process lifetime (or after eviction).
+			// Read outside the lock — a racing reader doing the same work
+			// promotes the identical value, which is harmless.
+			c.mu.Unlock()
+			diskChecked = true
+			if r, ok := c.disk.Get(k); ok {
+				c.mu.Lock()
+				c.store(k, r)
+				c.mu.Unlock()
+				c.hits.Add(1)
+				c.diskHits.Add(1)
+				return r, true, nil
+			}
+			continue
+		}
 		f := &flight{done: make(chan struct{})}
 		c.inflight[k] = f
 		c.mu.Unlock()
@@ -109,9 +142,85 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 			c.canceled.Add(1)
 			return Result{}, false, err
 		}
+		if c.disk != nil {
+			// Write-behind: the simulate path never waits on the disk.
+			c.disk.Put(k, r)
+		}
 		c.misses.Add(1)
 		return r, false, nil
 	}
+}
+
+// keysInRange lists every key this cache can serve (RAM and durable layer)
+// whose ring position falls in [lo, hi] (wrapping when lo > hi) — the
+// /v1/keys surface the warm-handoff replay walks.
+func (c *resultCache) keysInRange(lo, hi uint64) []Key {
+	seen := make(map[Key]bool)
+	c.mu.Lock()
+	out := make([]Key, 0, len(c.entries))
+	for k := range c.entries {
+		if posInRange(keyPos(k), lo, hi) {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	c.mu.Unlock()
+	if c.disk != nil {
+		for _, k := range c.disk.Keys(lo, hi) {
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// fetch returns the stored results for the requested keys (absent keys are
+// silently dropped — the caller asked from a possibly stale key listing).
+// Serving a fetch is replication traffic, not candidate traffic, so it
+// touches none of the hit/miss counters.
+func (c *resultCache) fetch(keys []Key) []Entry {
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		c.mu.Lock()
+		r, ok := c.entries[k]
+		c.mu.Unlock()
+		if !ok && c.disk != nil {
+			r, ok = c.disk.Get(k)
+		}
+		if ok {
+			out = append(out, Entry{Key: k, Result: r})
+		}
+	}
+	return out
+}
+
+// ingest installs replayed results from a peer (warm handoff). Keys already
+// present are skipped — results are content-addressed, so the values cannot
+// differ. Returns how many entries were new; those count into handoffKeys,
+// not hits/misses (nothing was served to a client).
+func (c *resultCache) ingest(entries []Entry) int {
+	n := 0
+	for _, e := range entries {
+		c.mu.Lock()
+		_, inRAM := c.entries[e.Key]
+		if !inRAM {
+			c.store(e.Key, e.Result)
+		}
+		c.mu.Unlock()
+		onDisk := false
+		if c.disk != nil {
+			onDisk = c.disk.Has(e.Key)
+			if !onDisk {
+				c.disk.Put(e.Key, e.Result)
+			}
+		}
+		if !inRAM && !onDisk {
+			n++
+		}
+	}
+	c.handoffKeys.Add(uint64(n))
+	return n
 }
 
 // store inserts under the capacity bound. Eviction is deliberately crude —

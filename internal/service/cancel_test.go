@@ -25,7 +25,7 @@ import (
 // as deterministic failures, which clients score +Inf and tuners permanently
 // discard.
 func TestCanceledBatchIsBatchLevelNotPerCandidate(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
 	const group, n = 1, 8
 	req := &SimulateRequest{
 		Arch:       "riscv",
@@ -91,7 +91,7 @@ func TestCanceledBatchIsBatchLevelNotPerCandidate(t *testing.T) {
 // logs a canceled batch (503-classified, not 400), and a second client
 // re-running the batch gets clean results.
 func TestClientDisconnectMidBatchOverHTTP(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	const group, n = 2, 8
@@ -151,7 +151,7 @@ func TestClientDisconnectMidBatchOverHTTP(t *testing.T) {
 // a leader whose compute is canceled both count as canceled (not hit, not
 // miss), nothing canceled is ever stored, and the next caller re-computes.
 func TestCacheDoCanceledAccounting(t *testing.T) {
-	c := newResultCache(16)
+	c := newResultCache(16, nil)
 	var k Key
 	k[0] = 7
 

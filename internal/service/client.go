@@ -74,6 +74,43 @@ func (c *Client) Statusz(ctx context.Context) (*Statusz, error) {
 	return &st, nil
 }
 
+// Keys implements HandoffBackend over GET /v1/keys. The full inventory is
+// lo=0, hi=^uint64(0); any other pair is sent as ?range=lo-hi (wrapping
+// when lo > hi, matching ring arcs).
+func (c *Client) Keys(ctx context.Context, lo, hi uint64) ([]Key, error) {
+	url := c.BaseURL + "/v1/keys"
+	if !(lo == 0 && hi == ^uint64(0)) {
+		url += fmt.Sprintf("?range=%016x-%016x", lo, hi)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var resp KeysResponse
+	if err := c.roundTrip(httpReq, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}
+
+// Fetch implements HandoffBackend over POST /v1/fetch.
+func (c *Client) Fetch(ctx context.Context, keys []Key) ([]Entry, error) {
+	var resp FetchResponse
+	if err := c.post(ctx, "/v1/fetch", &FetchRequest{Keys: keys}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Ingest implements HandoffBackend over POST /v1/ingest.
+func (c *Client) Ingest(ctx context.Context, entries []Entry) (int, error) {
+	var resp IngestResponse
+	if err := c.post(ctx, "/v1/ingest", &IngestRequest{Entries: entries}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Ingested, nil
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	enc, err := json.Marshal(body)
 	if err != nil {

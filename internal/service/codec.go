@@ -1,9 +1,64 @@
 package service
 
 import (
+	"encoding/hex"
+	"fmt"
+
 	"repro/internal/schedule"
 	"repro/internal/sim"
 )
+
+// MarshalText renders a Key as lowercase hex — the wire form used by
+// /v1/keys, /v1/fetch and /v1/ingest (encoding/json picks this up, so a
+// Key field serializes as a 64-char hex string, not a 32-element array).
+func (k Key) MarshalText() ([]byte, error) {
+	dst := make([]byte, hex.EncodedLen(len(k)))
+	hex.Encode(dst, k[:])
+	return dst, nil
+}
+
+// UnmarshalText parses the hex wire form.
+func (k *Key) UnmarshalText(b []byte) error {
+	if hex.DecodedLen(len(b)) != len(k) {
+		return fmt.Errorf("service: key %q: want %d hex chars", b, hex.EncodedLen(len(k)))
+	}
+	_, err := hex.Decode(k[:], b)
+	return err
+}
+
+// Entry is one stored cache record on the replication surface: the content
+// address and the result it addresses. It is what /v1/fetch returns and
+// /v1/ingest accepts.
+type Entry struct {
+	Key    Key    `json:"key"`
+	Result Result `json:"result"`
+}
+
+// KeysResponse is the GET /v1/keys body.
+type KeysResponse struct {
+	Keys []Key `json:"keys"`
+}
+
+// FetchRequest is the POST /v1/fetch body.
+type FetchRequest struct {
+	Keys []Key `json:"keys"`
+}
+
+// FetchResponse carries the found entries (requested keys the node no
+// longer holds are dropped, not errored — the key listing may be stale).
+type FetchResponse struct {
+	Entries []Entry `json:"entries"`
+}
+
+// IngestRequest is the POST /v1/ingest body.
+type IngestRequest struct {
+	Entries []Entry `json:"entries"`
+}
+
+// IngestResponse reports how many entries were new to the node.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+}
 
 // SimulateRequest is the POST /v1/simulate body: one batch of candidate
 // schedules of a single (architecture, workload) pair — exactly the shape a
@@ -53,11 +108,24 @@ type Statusz struct {
 	// CacheHits/CacheMisses partition successfully served candidates;
 	// CacheCanceled counts candidates whose batch was canceled before the
 	// cache could serve them (so hits+misses+canceled reconciles with the
-	// candidates accepted); Entries is the current cache size.
+	// candidates accepted); Entries is the current in-memory cache size.
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
 	CacheCanceled uint64 `json:"cache_canceled"`
 	CacheEntries  int    `json:"cache_entries"`
+	// CacheDiskHits is the subset of CacheHits served from the durable
+	// store rather than RAM (first touch of a key after a restart or after
+	// RAM eviction). It is a breakdown, not an extra term: the
+	// hits+misses+canceled == candidates reconciliation is unchanged.
+	CacheDiskHits uint64 `json:"cache_disk_hits"`
+	// CacheDiskEntries is the durable store's key count (0 without a
+	// -cache-dir); it can exceed CacheEntries, whose RAM map is bounded.
+	CacheDiskEntries int `json:"cache_disk_entries"`
+	// HandoffKeys: on a leaf server, results installed via /v1/ingest
+	// (warm-handoff replay into this node); on a router, results it
+	// replayed into rejoining nodes. Handoff moves cache contents without
+	// serving candidates, so it never enters the hit/miss reconciliation.
+	HandoffKeys uint64 `json:"handoff_keys"`
 	// Shards reports per-architecture worker pools (leaf servers only).
 	Shards []ShardStatus `json:"shards"`
 	// Nodes reports the backing servers when this statusz comes from a

@@ -59,7 +59,7 @@ func TestEndToEndTuneThroughService(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 
@@ -150,7 +150,7 @@ func TestEndToEndTuneThroughRouter(t *testing.T) {
 	nodes := make([]*Server, 3)
 	urls := make([]string, 3)
 	for i := range nodes {
-		nodes[i] = NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+		nodes[i] = mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
 		hs := httptest.NewServer(nodes[i].Handler())
 		defer hs.Close()
 		urls[i] = hs.URL

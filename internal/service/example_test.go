@@ -1,0 +1,55 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/isa"
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/te"
+)
+
+// ExampleServiceRunner shows the client side of the simulate service: a
+// ServiceRunner over an HTTP client (point BaseURL at a `simtune serve`
+// node or a `simtune route` router — the protocol is identical) is a
+// drop-in runner.Runner, so the auto-scheduler and the simtune API tune
+// against the shared fleet without code changes. Compiled, not executed.
+func ExampleServiceRunner() {
+	r := &service.ServiceRunner{
+		Backend:  service.NewClient("http://tuner-farm:8070"),
+		Arch:     isa.RISCV,
+		Workload: service.ConvGroupSpec(te.ScaleSmall, 3),
+		NPar:     4,
+	}
+	var _ runner.Runner = r // what core.ExecutionPhase consumes
+	results := r.Run([]runner.MeasureInput{}, nil)
+	fmt.Println(len(results), r.CacheHits(), r.CacheMisses())
+}
+
+// ExampleClient_Simulate drives the wire protocol directly: one batch of
+// candidate step logs in, per-candidate statistics out, with cache hits
+// marked. Against a Local() server the same calls run in-process.
+func ExampleClient_Simulate() {
+	cl := service.NewClient("http://tuner-farm:8070")
+	resp, err := cl.Simulate(context.Background(), &service.SimulateRequest{
+		Arch:     "riscv",
+		Workload: service.ConvGroupSpec(te.ScaleSmall, 1),
+		Candidates: []service.Candidate{
+			{Steps: nil}, // the unscheduled baseline implementation
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range resp.Results {
+		fmt.Println(res.CacheHit, res.Stats.Total)
+	}
+
+	st, err := cl.Statusz(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st.HitRate(), st.CacheDiskEntries)
+}

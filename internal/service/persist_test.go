@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/ansor"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/schedule"
+	"repro/internal/te"
+)
+
+// TestServerRestartRecovery pins the durable-store contract at the batch
+// level: a server killed and restarted over the same -cache-dir serves its
+// previously computed keys as cache hits — bit-identical results, zero
+// re-simulation — and the statusz reconciliation (hits+misses+canceled ==
+// candidates) holds on both lifetimes, with the disk serves split out in
+// cache_disk_hits.
+func TestServerRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const group, n = 1, 16
+	cfg := Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2, CacheDir: dir}
+	req := &SimulateRequest{
+		Arch:       "riscv",
+		Workload:   ConvGroupSpec(te.ScaleTiny, group),
+		Candidates: tinyCandidates(t, group, n),
+	}
+
+	srv1 := mustServer(t, cfg)
+	cold, err := srv1.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := srv1.Statusz(context.Background())
+	if st1.CacheMisses != n || st1.CacheHits != 0 || st1.CacheDiskHits != 0 {
+		t.Fatalf("first lifetime counters off: %+v", st1)
+	}
+	// Kill the server. Close flushes the write-behind queue to disk.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := mustServer(t, cfg)
+	defer srv2.Close()
+	st2, _ := srv2.Statusz(context.Background())
+	if st2.CacheDiskEntries != n {
+		t.Fatalf("restart recovered %d disk entries, want %d", st2.CacheDiskEntries, n)
+	}
+	if st2.CacheEntries != 0 {
+		t.Fatalf("restart began with %d RAM entries, want 0 (index-only recovery)", st2.CacheEntries)
+	}
+	warm, err := srv2.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range warm.Results {
+		if !res.CacheHit {
+			t.Fatalf("candidate %d: restarted server re-simulated a stored key", i)
+		}
+		if !reflect.DeepEqual(res.Stats, cold.Results[i].Stats) {
+			t.Fatalf("candidate %d: recovered stats not bit-identical:\n got %+v\nwant %+v",
+				i, res.Stats, cold.Results[i].Stats)
+		}
+	}
+	st2, _ = srv2.Statusz(context.Background())
+	if st2.CacheHits != n || st2.CacheMisses != 0 {
+		t.Fatalf("restarted lifetime counters off: %+v", st2)
+	}
+	if st2.CacheDiskHits != n {
+		t.Fatalf("cache_disk_hits = %d, want %d (every key served from the segment log once)",
+			st2.CacheDiskHits, n)
+	}
+	if st2.CacheHits+st2.CacheMisses+st2.CacheCanceled != st2.Candidates {
+		t.Fatalf("statusz does not reconcile after restart: %+v", st2)
+	}
+	if sim := st2.Shards[0].Simulated; sim != 0 {
+		t.Fatalf("restarted server simulated %d candidates for a fully stored batch", sim)
+	}
+
+	// Second touch of the same keys is RAM-served: disk hits must not grow.
+	if _, err := srv2.Simulate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st3, _ := srv2.Statusz(context.Background())
+	if st3.CacheDiskHits != n {
+		t.Fatalf("promoted keys read the disk again: cache_disk_hits %d, want %d",
+			st3.CacheDiskHits, n)
+	}
+}
+
+// TestEndToEndTuneRestartRecovery is the acceptance path of the durable
+// store: a full tuning run against a live HTTP server with -cache-dir,
+// then the server is killed and restarted over the same directory, and the
+// re-submitted tuning run must be ≥ 99% absorbed by the recovered cache
+// with bit-identical records.
+func TestEndToEndTuneRestartRecovery(t *testing.T) {
+	const (
+		group  = 1
+		trials = 24
+		seed   = 5
+	)
+	dir := t.TempDir()
+	cfg := Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4, CacheDir: dir}
+	prof := hw.Lookup(isa.RISCV)
+	baseOpt := core.ExecutionOptions{
+		Scale: te.ScaleTiny, Group: group, Trials: trials, BatchSize: 8,
+		NParallel: 4, Seed: seed,
+	}
+	tuneVia := func(url string) []ansor.Record {
+		opt := baseOpt
+		opt.Runner = &ServiceRunner{
+			Backend:  NewClient(url),
+			Arch:     isa.RISCV,
+			Workload: ConvGroupSpec(te.ScaleTiny, group),
+			NPar:     4,
+		}
+		opt.Builder = NopBuilder{}
+		recs, err := core.ExecutionPhase(prof, stubPredictor{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	srv1 := mustServer(t, cfg)
+	hs1 := httptest.NewServer(srv1.Handler())
+	first := tuneVia(hs1.URL)
+	hs1.Close()
+	if err := srv1.Close(); err != nil { // kill: flush and release the log
+		t.Fatal(err)
+	}
+
+	srv2 := mustServer(t, cfg)
+	defer srv2.Close()
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	rerun := tuneVia(hs2.URL)
+
+	if len(rerun) != len(first) {
+		t.Fatalf("re-run measured %d records, first run %d", len(rerun), len(first))
+	}
+	for i := range rerun {
+		if schedule.Fingerprint(rerun[i].Steps) != schedule.Fingerprint(first[i].Steps) {
+			t.Fatalf("record %d: search diverged across restart", i)
+		}
+		got, want := normalized(rerun[i].Stats), normalized(first[i].Stats)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: recovered stats not bit-identical:\n got %+v\nwant %+v", i, got, want)
+		}
+		if rerun[i].Score != first[i].Score {
+			t.Fatalf("record %d: score %v != first run %v", i, rerun[i].Score, first[i].Score)
+		}
+	}
+	hits, misses, _ := core.CacheStats(rerun)
+	if rate := float64(hits) / float64(hits+misses); rate < 0.99 {
+		t.Fatalf("restart re-run hit rate %.2f, want >= 0.99 (%d hits / %d misses)", rate, hits, misses)
+	}
+	st, err := NewClient(hs2.URL).Statusz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheDiskHits == 0 {
+		t.Fatal("restarted server served no disk hits — recovery did not engage")
+	}
+	if st.CacheHits+st.CacheMisses+st.CacheCanceled != st.Candidates {
+		t.Fatalf("statusz does not reconcile on the restarted server: %+v", st)
+	}
+}

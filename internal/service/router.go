@@ -29,11 +29,28 @@ type RouterConfig struct {
 	ProbeInterval time.Duration
 	// HTTPClient overrides the transport shared by all node clients.
 	HTTPClient *http.Client
+	// DisableHandoff turns off the warm-handoff replay that runs when a
+	// node rejoins the ring. With handoff off, a rejoining node re-simulates
+	// the keys it owns (its misses) instead of receiving them from the
+	// successors that covered its range.
+	DisableHandoff bool
+	// HandoffChunk bounds how many results travel per fetch/ingest round
+	// trip during a handoff replay (default 256).
+	HandoffChunk int
+	// HandoffTimeout bounds one node's whole rejoin replay (default 2m —
+	// generous, since a replay moves cached results, never simulations).
+	HandoffTimeout time.Duration
 }
 
 func (c *RouterConfig) defaults() {
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 2 * time.Second
+	}
+	if c.HandoffChunk <= 0 {
+		c.HandoffChunk = 256
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 2 * time.Minute
 	}
 }
 
@@ -61,6 +78,10 @@ type Router struct {
 	requests   atomic.Uint64
 	candidates atomic.Uint64
 	rerouted   atomic.Uint64
+	// handoffKeys counts results this router replayed into rejoining nodes
+	// (warm handoff). Leaf servers count their own ingests; this is the
+	// router-side view of the same transfers.
+	handoffKeys atomic.Uint64
 
 	stopProbe context.CancelFunc
 	probeWG   sync.WaitGroup
@@ -71,7 +92,10 @@ type routerNode struct {
 	id      string
 	backend Backend
 
-	up         atomic.Bool
+	up atomic.Bool
+	// handingOff guards the rejoin replay: at most one warm handoff runs
+	// per node, and while it runs the node stays out of rotation.
+	handingOff atomic.Bool
 	candidates atomic.Uint64
 
 	mu      sync.Mutex
@@ -154,7 +178,10 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 				case <-probeCtx.Done():
 					return
 				case <-tick.C:
-					rt.probeOnce(probeCtx)
+					// Fire-and-track: a slow rejoin replay on one node must
+					// not delay liveness updates for the others, so rounds
+					// may overlap (per-node replays stay single-flight).
+					rt.probe(probeCtx)
 				}
 			}
 		}()
@@ -172,29 +199,171 @@ func (rt *Router) Close() {
 	}
 }
 
-// probeOnce health-checks every node concurrently and flips their rotation
-// state: statusz answering means up, anything else means out. It is called
-// by the background prober and directly by tests.
+// probeOnce health-checks every node and flips their rotation state:
+// statusz answering means up, anything else means out. A node
+// transitioning down→up is a ring rejoin: before it re-enters rotation, the
+// warm-handoff replay copies the results it owns from the peers that
+// covered its range — ordering that matters, because the moment the node is
+// marked up its keys route to it again, and any key it does not hold by
+// then costs a duplicate simulation. If the replay fails, the node stays
+// out of rotation and the next probe round retries it. probeOnce blocks
+// until the round (replays included) finishes — the synchronous form used
+// by tests; the background prober uses the non-blocking probe so a long
+// replay on one node never delays liveness updates for the others.
 func (rt *Router) probeOnce(ctx context.Context) {
+	rt.probe(ctx).Wait()
+}
+
+// probe starts one concurrent health-check/rejoin round and returns its
+// WaitGroup without waiting. Statusz probes are bounded by the probe
+// timeout; a rejoin replay runs under its own HandoffTimeout budget and is
+// guarded per node, so overlapping rounds never start a second replay.
+func (rt *Router) probe(ctx context.Context) *sync.WaitGroup {
 	timeout := rt.cfg.ProbeInterval
 	if timeout <= 0 { // probing disabled; direct calls still need a bound
 		timeout = 2 * time.Second
 	}
-	probeCtx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
-	var wg sync.WaitGroup
-	for _, n := range rt.nodes {
+	wg := new(sync.WaitGroup)
+	for i, n := range rt.nodes {
 		wg.Add(1)
-		go func(n *routerNode) {
+		rt.probeWG.Add(1)
+		go func(i int, n *routerNode) {
 			defer wg.Done()
-			if _, err := n.backend.Statusz(probeCtx); err != nil {
+			defer rt.probeWG.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, timeout)
+			_, err := n.backend.Statusz(probeCtx)
+			cancel()
+			if err != nil {
 				n.markDown(err)
-			} else {
-				n.markUp()
+				return
 			}
-		}(n)
+			if n.up.Load() || rt.cfg.DisableHandoff {
+				n.markUp()
+				return
+			}
+			// Rejoin: replay the node's corpus before rotation, at most one
+			// replay per node at a time. The replay gets its own (generous)
+			// budget — the probe timeout paces liveness checks, not bulk
+			// replication.
+			if !n.handingOff.CompareAndSwap(false, true) {
+				return // a replay is already running; it decides the markUp
+			}
+			defer n.handingOff.Store(false)
+			hctx, hcancel := context.WithTimeout(ctx, rt.cfg.HandoffTimeout)
+			defer hcancel()
+			rt.rejoin(hctx, i, n)
+		}(i, n)
 	}
-	wg.Wait()
+	return wg
+}
+
+// rejoin replays the results node idx owns on the ring from the peers that
+// held them while it was down, then returns it to rotation. Error
+// semantics, chosen so a node can neither rejoin unwarmed nor be locked
+// out forever:
+//
+//   - Peer-side errors are tolerated: a struggling peer's keys stay where
+//     they are, and re-simulating them later is the bounded fallback.
+//   - A transient target-side error leaves the node out of rotation; the
+//     next probe round retries the replay.
+//   - A non-retryable target-side error (404/405 from a backend without
+//     the handoff endpoints — an older server, or a router used as a node)
+//     means there is no replication surface to wait for: the node rejoins
+//     without a replay rather than being retried to the same answer
+//     forever.
+//
+// The replay never moves a key to a node that does not own it, and ingest
+// skips keys the node already holds, so replaying is always safe to
+// repeat.
+func (rt *Router) rejoin(ctx context.Context, idx int, n *routerNode) {
+	target, ok := n.backend.(HandoffBackend)
+	if !ok {
+		n.markUp() // nothing to replay through (in-process router, ...)
+		return
+	}
+	// What the rejoining node already holds (it may have kept RAM, or
+	// recovered a durable store): those keys need no transfer.
+	have := make(map[Key]bool)
+	targetKeys, err := target.Keys(ctx, 0, ^uint64(0))
+	if err != nil {
+		if !IsRetryable(err) {
+			n.markUp() // no handoff surface on this node; rejoin unwarmed
+		}
+		return // transient: stay down, next probe round retries
+	}
+	for _, k := range targetKeys {
+		have[k] = true
+	}
+	// Delta passes: while the replay runs the node is still out of
+	// rotation, so its keys keep draining to the successors — a peer may
+	// compute more owned results after its inventory was taken. Re-scan
+	// until a pass finds nothing new (have accumulates, so each pass sees
+	// only the delta); the pass cap bounds a pathological client that
+	// produces owned keys faster than they can be copied.
+	for pass := 0; pass < 4; pass++ {
+		found, ok := rt.handoffSweep(ctx, idx, target, have)
+		if !ok {
+			return // the rejoining node faltered; retry later
+		}
+		if found == 0 {
+			break
+		}
+	}
+	n.markUp()
+	// Closing sweep: a key in flight on a successor when the last pass
+	// scanned may have completed just before markUp and would otherwise be
+	// stranded there (anything computed after markUp routes to the node
+	// itself). One post-markUp sweep closes that window.
+	rt.handoffSweep(ctx, idx, target, have)
+}
+
+// handoffSweep performs one replay pass for node idx: scan every live
+// peer's inventory, transfer the owned keys not yet in have, and report how
+// many new keys the scan found. ok is false only when the rejoining node
+// itself failed an ingest.
+func (rt *Router) handoffSweep(ctx context.Context, idx int, target HandoffBackend, have map[Key]bool) (found int, ok bool) {
+	for j, peer := range rt.nodes {
+		if j == idx || !peer.up.Load() {
+			continue
+		}
+		pb, ok := peer.backend.(HandoffBackend)
+		if !ok {
+			continue
+		}
+		// One inventory round trip per peer; ownership is decided here
+		// against the ring, which hashes exactly what the peers hashed.
+		// (/v1/keys also accepts ?range= for narrower pulls — with 128
+		// virtual nodes per backend the rejoined node's range is many
+		// small arcs, so one full listing is the cheaper shape.)
+		keys, err := pb.Keys(ctx, 0, ^uint64(0))
+		if err != nil {
+			continue
+		}
+		var want []Key
+		for _, k := range keys {
+			if !have[k] && rt.ring.owner(k) == idx {
+				have[k] = true
+				want = append(want, k)
+			}
+		}
+		found += len(want)
+		for start := 0; start < len(want); start += rt.cfg.HandoffChunk {
+			end := start + rt.cfg.HandoffChunk
+			if end > len(want) {
+				end = len(want)
+			}
+			entries, err := pb.Fetch(ctx, want[start:end])
+			if err != nil {
+				break // this peer is struggling; try the next one
+			}
+			n, err := target.Ingest(ctx, entries)
+			if err != nil {
+				return found, false
+			}
+			rt.handoffKeys.Add(uint64(n))
+		}
+	}
+	return found, true
 }
 
 // Simulate implements Backend: split the batch by ring owner, fan sub-batches
@@ -337,10 +506,11 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 // summed (their counters are unknowable, not zero).
 func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 	agg := &Statusz{
-		UptimeSec:  time.Since(rt.start).Seconds(),
-		Requests:   rt.requests.Load(),
-		Candidates: rt.candidates.Load(),
-		Rerouted:   rt.rerouted.Load(),
+		UptimeSec:   time.Since(rt.start).Seconds(),
+		Requests:    rt.requests.Load(),
+		Candidates:  rt.candidates.Load(),
+		Rerouted:    rt.rerouted.Load(),
+		HandoffKeys: rt.handoffKeys.Load(),
 	}
 	type nodeStatusz struct {
 		st  *Statusz
@@ -370,6 +540,8 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 			agg.CacheMisses += st.CacheMisses
 			agg.CacheCanceled += st.CacheCanceled
 			agg.CacheEntries += st.CacheEntries
+			agg.CacheDiskHits += st.CacheDiskHits
+			agg.CacheDiskEntries += st.CacheDiskEntries
 			for _, sh := range st.Shards {
 				m, ok := shardByArch[sh.Arch]
 				if !ok {

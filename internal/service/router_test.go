@@ -14,12 +14,12 @@ import (
 
 // threeNodeRouter builds a router over n in-process servers (no HTTP, no
 // background probe — tests drive probeOnce explicitly).
-func threeNodeRouter(n int) (*Router, []*Server) {
+func threeNodeRouter(t testing.TB, n int) (*Router, []*Server) {
 	servers := make([]*Server, n)
 	ids := make([]string, n)
 	backends := make([]Backend, n)
 	for i := range servers {
-		servers[i] = NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+		servers[i] = mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
 		ids[i] = "node-" + string(rune('a'+i))
 		backends[i] = servers[i]
 	}
@@ -35,7 +35,7 @@ func threeNodeRouter(n int) (*Router, []*Server) {
 // in-process simulation; every key lives on exactly one node; re-submitting
 // hits every node's cache.
 func TestRouterSplitsAndReassembles(t *testing.T) {
-	rt, servers := threeNodeRouter(3)
+	rt, servers := threeNodeRouter(t, 3)
 	const group, n = 1, 12
 	req := &SimulateRequest{
 		Arch:       "riscv",
@@ -95,7 +95,7 @@ func TestRouterSplitsAndReassembles(t *testing.T) {
 // sharding: the same candidate submitted by different clients lands on the
 // same node, so the fleet simulates it once — not once per node.
 func TestRouterDedupesGloballyAcrossClients(t *testing.T) {
-	rt, servers := threeNodeRouter(3)
+	rt, servers := threeNodeRouter(t, 3)
 	one := tinyCandidates(t, 2, 1)[0]
 	req := &SimulateRequest{
 		Arch:       "riscv",
@@ -121,7 +121,7 @@ func TestRouterDedupesGloballyAcrossClients(t *testing.T) {
 // tier (or by a node) as non-retryable and must never knock nodes out of
 // rotation.
 func TestRouterBadRequestFailsFastWithoutFailover(t *testing.T) {
-	rt, _ := threeNodeRouter(2)
+	rt, _ := threeNodeRouter(t, 2)
 	bad := []*SimulateRequest{
 		{Arch: "sparc", Workload: ConvGroupSpec(te.ScaleTiny, 0)},
 		{Arch: "riscv", Workload: WorkloadSpec{Kind: "winograd"}},
@@ -160,7 +160,7 @@ func TestRouterFailoverDrainsDownNode(t *testing.T) {
 	https := make([]*httptest.Server, 3)
 	urls := make([]string, 3)
 	for i := range servers {
-		servers[i] = NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+		servers[i] = mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
 		https[i] = httptest.NewServer(servers[i].Handler())
 		defer https[i].Close()
 		urls[i] = https[i].URL
@@ -219,10 +219,12 @@ func TestRouterFailoverDrainsDownNode(t *testing.T) {
 }
 
 // flakyBackend wraps a Backend and fails Simulate while tripped — the
-// controllable node fault for recovery tests.
+// controllable node fault for recovery tests. handoffTripped fails only
+// the replication surface (see handoff_test.go).
 type flakyBackend struct {
 	Backend
-	tripped atomic.Bool
+	tripped        atomic.Bool
+	handoffTripped atomic.Bool
 }
 
 func (f *flakyBackend) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
@@ -249,7 +251,7 @@ func TestRouterProbeRestoresRecoveredNode(t *testing.T) {
 	flaky := make([]*flakyBackend, 3)
 	backends := make([]Backend, 3)
 	for i := range servers {
-		servers[i] = NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+		servers[i] = mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
 		ids[i] = "node-" + string(rune('a'+i))
 		flaky[i] = &flakyBackend{Backend: servers[i]}
 		backends[i] = flaky[i]
@@ -305,8 +307,8 @@ func TestRouterProbeRestoresRecoveredNode(t *testing.T) {
 // serves the arch fails the batch with the stable 501, not a node-health
 // error.
 func TestRouterUnservedArchRoutesAroundWithoutEjecting(t *testing.T) {
-	riscvOnly := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
-	both := NewServer(Config{Archs: []isa.Arch{isa.RISCV, isa.X86}, WorkersPerArch: 2})
+	riscvOnly := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 2})
+	both := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV, isa.X86}, WorkersPerArch: 2})
 	rt, err := NewRouterBackends([]string{"riscv-only", "both"},
 		[]Backend{riscvOnly, both}, RouterConfig{ProbeInterval: -1})
 	if err != nil {
@@ -388,7 +390,7 @@ func TestNewRouterBackendsValidates(t *testing.T) {
 // fails the batch without knocking nodes out of rotation — cancellation says
 // nothing about node health.
 func TestRouterCancellationIsNotANodeFault(t *testing.T) {
-	rt, _ := threeNodeRouter(3)
+	rt, _ := threeNodeRouter(t, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := rt.Simulate(ctx, &SimulateRequest{
@@ -411,7 +413,7 @@ func TestRouterCancellationIsNotANodeFault(t *testing.T) {
 // statusz totals must reconcile — router-aggregated counters equal the sum
 // over the per-node statusz, hits+misses equal the candidates routed.
 func TestRouterSmoke(t *testing.T) {
-	rt, servers := threeNodeRouter(3)
+	rt, servers := threeNodeRouter(t, 3)
 	const group = 1
 	req := &SimulateRequest{
 		Arch:       "riscv",

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,38 +23,71 @@ import (
 const maxRequestBytes = 64 << 20
 
 // Server is the batch simulation service: per-arch worker shards behind one
-// content-addressed result cache. It implements Backend directly, which is
-// the Local() in-process mode; Handler exposes the same operations over
-// HTTP.
+// content-addressed result cache (optionally disk-backed, Config.CacheDir).
+// It implements Backend directly, which is the Local() in-process mode;
+// Handler exposes the same operations over HTTP.
 type Server struct {
 	cfg    Config
 	shards map[isa.Arch]*shard
 	cache  *resultCache
+	disk   *Store // nil without CacheDir; also reachable as cache.disk
 	start  time.Time
 
 	requests   atomic.Uint64
 	candidates atomic.Uint64
 }
 
-// NewServer builds a server from the configuration.
-func NewServer(cfg Config) *Server {
+// NewServer builds a server from the configuration. With Config.CacheDir
+// set it opens (or recovers) the durable result store first — scanning the
+// segment log rebuilds the key index, so a restarted server serves its
+// previously computed corpus as cache hits; the only error paths are
+// store-related (unwritable directory, unopenable segments).
+func NewServer(cfg Config) (*Server, error) {
 	cfg.defaults()
+	var disk *Store
+	if cfg.CacheDir != "" {
+		var err error
+		disk, err = OpenStore(cfg.CacheDir, StoreOptions{MaxSegmentBytes: cfg.CacheSegmentBytes})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:    cfg,
 		shards: make(map[isa.Arch]*shard, len(cfg.Archs)),
-		cache:  newResultCache(cfg.CacheCapacity),
+		cache:  newResultCache(cfg.CacheCapacity, disk),
+		disk:   disk,
 		start:  time.Now(),
 	}
 	for _, arch := range cfg.Archs {
 		s.shards[arch] = newShard(hw.Lookup(arch), cfg.WorkersPerArch)
 	}
-	return s
+	return s, nil
 }
 
 // Local returns an in-process server with default configuration — the
 // no-sockets Backend used by tests, examples and single-machine tuning.
 // In-process callers share cached Result values; treat Stats as read-only.
-func Local() *Server { return NewServer(Config{}) }
+func Local() *Server {
+	s, err := NewServer(Config{})
+	if err != nil {
+		// Unreachable: the default config has no CacheDir, and only the
+		// store can fail construction.
+		panic(err)
+	}
+	return s
+}
+
+// Close flushes and closes the durable store (a no-op without CacheDir).
+// Call it on shutdown so the write-behind queue reaches disk; results
+// appended after the last Flush/Close would otherwise be lost to a crash —
+// which is safe (they re-simulate) but wasteful.
+func (s *Server) Close() error {
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}
 
 // Simulate implements Backend: every candidate is served from the result
 // cache when possible and otherwise compiled and simulated on the arch's
@@ -136,11 +171,32 @@ func (s *Server) Statusz(context.Context) (*Statusz, error) {
 		CacheMisses:   s.cache.misses.Load(),
 		CacheCanceled: s.cache.canceled.Load(),
 		CacheEntries:  s.cache.len(),
+		CacheDiskHits: s.cache.diskHits.Load(),
+		HandoffKeys:   s.cache.handoffKeys.Load(),
+	}
+	if s.disk != nil {
+		st.CacheDiskEntries = s.disk.Len()
 	}
 	for _, arch := range s.cfg.Archs {
 		st.Shards = append(st.Shards, s.shards[arch].status())
 	}
 	return st, nil
+}
+
+// Keys implements HandoffBackend over the result cache (RAM plus durable
+// layer).
+func (s *Server) Keys(_ context.Context, lo, hi uint64) ([]Key, error) {
+	return s.cache.keysInRange(lo, hi), nil
+}
+
+// Fetch implements HandoffBackend.
+func (s *Server) Fetch(_ context.Context, keys []Key) ([]Entry, error) {
+	return s.cache.fetch(keys), nil
+}
+
+// Ingest implements HandoffBackend.
+func (s *Server) Ingest(_ context.Context, entries []Entry) (int, error) {
+	return s.cache.ingest(entries), nil
 }
 
 // Handler returns the HTTP surface of the server:
@@ -190,7 +246,88 @@ func backendHandler(b Backend) http.Handler {
 		}
 		writeJSON(w, st)
 	})
+	if hb, ok := b.(HandoffBackend); ok {
+		registerHandoffRoutes(mux, hb)
+	}
 	return mux
+}
+
+// registerHandoffRoutes exposes the replication triple. Only backends that
+// implement HandoffBackend (leaf servers) get these routes; on a router the
+// paths 404 like any other unknown path.
+func registerHandoffRoutes(mux *http.ServeMux, hb HandoffBackend) {
+	mux.HandleFunc("/v1/keys", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		lo, hi := uint64(0), ^uint64(0)
+		if rng := r.URL.Query().Get("range"); rng != "" {
+			var err error
+			if lo, hi, err = parseKeyRange(rng); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		keys, err := hb.Keys(r.Context(), lo, hi)
+		if err != nil {
+			httpError(w, httpStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, &KeysResponse{Keys: keys})
+	})
+	mux.HandleFunc("/v1/fetch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req FetchRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		entries, err := hb.Fetch(r.Context(), req.Keys)
+		if err != nil {
+			httpError(w, httpStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, &FetchResponse{Entries: entries})
+	})
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req IngestRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		n, err := hb.Ingest(r.Context(), req.Entries)
+		if err != nil {
+			httpError(w, httpStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, &IngestResponse{Ingested: n})
+	})
+}
+
+// parseKeyRange parses the "?range=lo-hi" query form: two 16-digit hex ring
+// positions. lo > hi is valid and wraps through zero (a ring arc).
+func parseKeyRange(s string) (lo, hi uint64, err error) {
+	dash := strings.IndexByte(s, '-')
+	if dash < 0 {
+		return 0, 0, fmt.Errorf("range %q: want lo-hi (hex uint64 pair)", s)
+	}
+	if lo, err = strconv.ParseUint(s[:dash], 16, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: %v", s, err)
+	}
+	if hi, err = strconv.ParseUint(s[dash+1:], 16, 64); err != nil {
+		return 0, 0, fmt.Errorf("range %q: %v", s, err)
+	}
+	return lo, hi, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

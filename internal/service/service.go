@@ -17,12 +17,50 @@
 // its Table I cache geometry, the workload signature, and the canonical
 // step encoding (schedule.Canonical).
 //
-// API surface:
+// # Wire protocol
+//
+// Every tier — leaf server, consistent-hash router — speaks the same
+// HTTP/JSON surface, which is what lets clients point at either without
+// knowing the topology:
 //
 //	POST /v1/simulate  — batched candidates in, per-candidate stats out
 //	GET  /v1/statusz   — queue, cache and worker metrics
+//	GET  /v1/keys      — cache-key inventory (optionally ?range=lo-hi over
+//	                     ring positions); leaf servers only
+//	POST /v1/fetch     — bulk-read stored results by key; leaf servers only
+//	POST /v1/ingest    — install replayed results (warm handoff); leaf only
 //
-// Three ways to consume it:
+// The keys/fetch/ingest triple is the replication side channel the router's
+// warm handoff uses when a node rejoins the ring: the results a rejoining
+// node owns are replayed into it from the ring successors that covered its
+// range while it was down, so rejoin never re-simulates the corpus.
+//
+// # Durability
+//
+// With Config.CacheDir set, the result cache gains a disk-backed
+// write-behind layer (an append-only segment log, see Store): a restarted
+// node rebuilds its key index by scanning the segments and serves its
+// previously computed corpus as cache hits — statusz splits those out as
+// cache_disk_hits.
+//
+// # Error taxonomy
+//
+// Errors carry an HTTP-style classification end to end (see Error):
+//
+//	4xx — the request itself is defective (unknown arch, malformed
+//	      workload); retrying anywhere fails identically.
+//	501 — this node's operator config does not serve the arch; stable,
+//	      so routers route around the healthy node without ejecting it.
+//	5xx — this node could not do the work right now (canceled batch,
+//	      fault); retryable, and routers fail the sub-batch over to ring
+//	      successors.
+//
+// A batch canceled mid-flight always fails as a whole with a retryable
+// error; cancellation is never folded into a per-candidate Result.Err,
+// because clients score per-candidate errors as +Inf and tuners would
+// permanently discard candidates that were never actually measured.
+//
+// Three ways to consume the service:
 //
 //   - Local(): an in-process *Server used directly as a Backend
 //     (no sockets) — tests, examples, single-machine tuning.
@@ -57,6 +95,31 @@ type Backend interface {
 	Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error)
 	// Statusz reports server metrics.
 	Statusz(ctx context.Context) (*Statusz, error)
+}
+
+// HandoffBackend is the optional replication surface of a Backend: the
+// key-inventory/fetch/ingest triple the router's warm handoff replays a
+// rejoining node's corpus through. *Server implements it natively and
+// *Client forwards it over /v1/keys, /v1/fetch and /v1/ingest; *Router
+// deliberately does not — replication is a node-to-node concern, and
+// exposing it at the routing tier would invite accidental fleet-wide
+// scans.
+//
+// None of the three operations touch the hit/miss/canceled candidate
+// accounting: they move cache contents, they do not serve candidates.
+type HandoffBackend interface {
+	// Keys lists the cache keys this node can serve whose ring position
+	// (keyPos: the first 8 bytes of the sha256 key, big-endian) lies in
+	// [lo, hi]; lo > hi wraps through zero, so one ring arc is one range.
+	// Keys(ctx, 0, ^uint64(0)) lists everything.
+	Keys(ctx context.Context, lo, hi uint64) ([]Key, error)
+	// Fetch bulk-reads stored results; keys the node no longer holds are
+	// silently dropped from the reply.
+	Fetch(ctx context.Context, keys []Key) ([]Entry, error)
+	// Ingest installs replayed results, skipping keys already present
+	// (results are content-addressed — the values cannot differ), and
+	// reports how many were new.
+	Ingest(ctx context.Context, entries []Entry) (int, error)
 }
 
 // Error is a classified service failure. Status carries the HTTP taxonomy
@@ -135,8 +198,18 @@ type Config struct {
 	// WorkersPerArch is the simulator parallelism per shard (default 4 —
 	// the paper's n_parallel default).
 	WorkersPerArch int
-	// CacheCapacity bounds the result cache entry count (default 1<<18).
+	// CacheCapacity bounds the in-memory result cache entry count
+	// (default 1<<18). The durable layer below it is unbounded — disk
+	// records are the corpus the fleet paid simulations for.
 	CacheCapacity int
+	// CacheDir, when non-empty, enables the durable result store: computed
+	// results are written behind to an append-only segment log under this
+	// directory, and a restarted server serves its previously computed keys
+	// as cache hits after rebuilding the key index from the segments.
+	CacheDir string
+	// CacheSegmentBytes rotates store segments past this size (default
+	// 64 MB). Only meaningful with CacheDir.
+	CacheSegmentBytes int64
 }
 
 func (c *Config) defaults() {

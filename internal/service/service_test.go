@@ -21,6 +21,17 @@ import (
 	"repro/internal/te"
 )
 
+// mustServer builds a server or fails the test — the NewServer error path
+// exists only for durable-store problems, which these configs don't hit.
+func mustServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // fixedHierarchy is a frozen geometry for the golden-key test, so the
 // goldens pin the key derivation itself, independent of any future Table I
 // profile adjustments (which are *supposed* to change real keys).
@@ -178,7 +189,7 @@ func normalized(st *sim.Stats) sim.Stats {
 // bit-identical to direct simulation, and that re-submitting the same batch
 // is served entirely from the cache with the same payload.
 func TestLocalBackendBitIdentical(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 3})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 3})
 	req := &SimulateRequest{
 		Arch:       "riscv",
 		Workload:   ConvGroupSpec(te.ScaleTiny, 2),
@@ -224,7 +235,7 @@ func TestLocalBackendBitIdentical(t *testing.T) {
 // TestWithinBatchDuplicatesSimulateOnce checks the singleflight layer: a
 // batch repeating one candidate must cost one simulation.
 func TestWithinBatchDuplicatesSimulateOnce(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.ARM}, WorkersPerArch: 4})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.ARM}, WorkersPerArch: 4})
 	one := tinyCandidates(t, 1, 1)[0]
 	req := &SimulateRequest{
 		Arch:       "arm",
@@ -258,7 +269,7 @@ func TestWithinBatchDuplicatesSimulateOnce(t *testing.T) {
 // TestDeterministicFailuresAreCached checks broken candidates fail fast the
 // second time: the error is content-addressed like any result.
 func TestDeterministicFailuresAreCached(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}})
 	req := &SimulateRequest{
 		Arch:     "riscv",
 		Workload: ConvGroupSpec(te.ScaleTiny, 0),
@@ -284,7 +295,7 @@ func TestDeterministicFailuresAreCached(t *testing.T) {
 
 // TestSimulateRejectsBadRequests checks whole-batch validation.
 func TestSimulateRejectsBadRequests(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.X86}})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.X86}})
 	cases := []SimulateRequest{
 		{Arch: "sparc", Workload: ConvGroupSpec(te.ScaleTiny, 0)},
 		{Arch: "riscv", Workload: ConvGroupSpec(te.ScaleTiny, 0)}, // not served
@@ -300,7 +311,7 @@ func TestSimulateRejectsBadRequests(t *testing.T) {
 // TestSimulateCancellation checks a dead context aborts the batch instead of
 // leaking work into the queue.
 func TestSimulateCancellation(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 1})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := srv.Simulate(ctx, &SimulateRequest{
@@ -327,7 +338,7 @@ func TestSimulateCancellation(t *testing.T) {
 // stats bit-identical to the in-process reference regardless of which
 // goroutine's flight computed them.
 func TestConcurrentBatchSubmission(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
 	const group = 3
 	cands := tinyCandidates(t, group, 10)
 	refs := make([]sim.Stats, len(cands))
@@ -390,7 +401,7 @@ func TestConcurrentBatchSubmission(t *testing.T) {
 
 // TestCacheEviction checks the capacity bound holds.
 func TestCacheEviction(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.RISCV}, CacheCapacity: 4})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.RISCV}, CacheCapacity: 4})
 	req := &SimulateRequest{
 		Arch:       "riscv",
 		Workload:   ConvGroupSpec(te.ScaleTiny, 1),
@@ -408,7 +419,7 @@ func TestCacheEviction(t *testing.T) {
 // decode — stats must survive bit-identically, statusz must be served, and
 // protocol misuse must map to HTTP errors.
 func TestHTTPRoundTrip(t *testing.T) {
-	srv := NewServer(Config{Archs: []isa.Arch{isa.ARM}, WorkersPerArch: 2})
+	srv := mustServer(t, Config{Archs: []isa.Arch{isa.ARM}, WorkersPerArch: 2})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	cl := NewClient(hs.URL)

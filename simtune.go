@@ -220,8 +220,15 @@ type TuneGroupOptions struct {
 	// are compiled and simulated server-side, and identical candidates —
 	// from this run or any other client — are served from the fleet's
 	// content-addressed result cache (each key owned by exactly one node).
+	// Servers started with -cache-dir keep that cache across restarts, so
+	// even a freshly restarted fleet absorbs previously tuned candidates.
 	// Statistics are bit-identical to the in-process backend.
 	ServerURL string
+	// ServerRetries bounds re-submissions of a batch that failed with a
+	// retryable service error — a restarting server, a router briefly
+	// without live nodes (default 2; negative disables). Only meaningful
+	// with ServerURL.
+	ServerRetries int
 }
 
 // TuneGroup runs the execution phase of Fig. 4-II: simulator-only tuning of
@@ -247,6 +254,7 @@ func (m *TrainedModel) TuneGroup(opts TuneGroupOptions) ([]Record, error) {
 			Arch:     m.Arch,
 			Workload: service.ConvGroupSpec(m.Scale, opts.Group),
 			NPar:     opts.NParallel,
+			Retries:  opts.ServerRetries,
 		}
 		eOpt.Builder = service.NopBuilder{}
 	}
