@@ -54,6 +54,8 @@ func serve(args []string) error {
 	cacheCap := fs.Int("cache-cap", 1<<18, "in-memory result cache capacity (entries)")
 	cacheDir := fs.String("cache-dir", "", "durable result store directory; a restarted server recovers its computed corpus from the segment log here (empty = memory only)")
 	segBytes := fs.Int64("cache-seg-bytes", 0, "store segment rotation size in bytes (default 64 MB)")
+	maxQueued := fs.Int("max-queued", 0, "admission bound: candidates held (queued+running) before new batches get 429 + Retry-After (default 65536)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-drain budget after SIGINT/SIGTERM: how long in-flight batches may finish before hard cancel (default 30s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +70,7 @@ func serve(args []string) error {
 	srv, err := service.NewServer(service.Config{
 		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
 		CacheDir: *cacheDir, CacheSegmentBytes: *segBytes,
+		MaxQueuedCandidates: *maxQueued, DrainTimeout: *drainTimeout,
 	})
 	if err != nil {
 		return err
@@ -81,11 +84,18 @@ func serve(args []string) error {
 		fmt.Printf("  durable store %s: %d results recovered\n", *cacheDir, st.CacheDiskEntries)
 	}
 	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz\n", *addr, *addr)
+	// SIGINT/SIGTERM cancel ctx; ListenAndServe then drains gracefully —
+	// stops admitting (statusz flips to draining, routers rotate the node
+	// out), lets in-flight batches finish within -drain-timeout, and flushes
+	// and closes the durable store so everything computed this lifetime is
+	// recoverable on the next start. Close here is an idempotent backstop
+	// for the listen-error path.
 	serveErr := srv.ListenAndServe(ctx, *addr)
-	// Flush the write-behind queue so everything computed this lifetime is
-	// recoverable on the next start.
 	if err := srv.Close(); err != nil && serveErr == nil {
 		serveErr = err
+	}
+	if ctx.Err() != nil {
+		fmt.Println("simtune serve: drained and stopped")
 	}
 	return serveErr
 }

@@ -51,6 +51,11 @@ func main() {
 		node, err := service.NewServer(service.Config{
 			WorkersPerArch: 2,
 			CacheDir:       filepath.Join(storeRoot, fmt.Sprintf("node-%d", i)),
+			// The admission gate (`simtune serve -max-queued` in production):
+			// a node holding this many candidates rejects further batches
+			// with 429 + Retry-After, and the router sheds them to the ring
+			// successors instead of queueing without bound.
+			MaxQueuedCandidates: 4096,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -108,5 +113,8 @@ func main() {
 		st.Requests, st.Candidates, 100*st.HitRate(), st.CacheEntries)
 	for _, n := range st.Nodes {
 		fmt.Printf("  node %s: up=%v, %d candidates routed\n", n.ID, n.Up, n.Candidates)
+	}
+	if st.RejectedCandidates > 0 {
+		fmt.Printf("  %d candidates were 429-rejected and shed across the ring\n", st.RejectedCandidates)
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -142,10 +144,21 @@ func (c *Client) roundTrip(req *http.Request, out any) error {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		se := &Error{Status: resp.StatusCode, Msg: resp.Status}
 		var wire struct {
-			Error string `json:"error"`
+			Error        string `json:"error"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
 		}
 		if json.Unmarshal(msg, &wire) == nil && wire.Error != "" {
 			se.Msg = resp.Status + ": " + wire.Error
+			if wire.RetryAfterMS > 0 {
+				se.RetryAfter = time.Duration(wire.RetryAfterMS) * time.Millisecond
+			}
+		}
+		// The body field carries sub-second precision; the standard header
+		// (whole seconds) is the fallback for proxies that strip bodies.
+		if se.RetryAfter == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
 		}
 		// Wrap the typed error so callers (the router's failover logic
 		// foremost) can recover the 4xx/5xx classification via errors.As.
@@ -183,15 +196,25 @@ type ServiceRunner struct {
 	// nil means context.Background().
 	Ctx context.Context
 	// Retries bounds re-submissions of a batch that failed with a
-	// retryable error (server restart, canceled batch, router with every
-	// node briefly down). Retrying matters because the runner interface
-	// has no batch-level error channel: an unretried transient failure
-	// becomes per-candidate +Inf scores and the tuner permanently discards
-	// candidates that were never actually measured. Default 2; negative
-	// disables.
+	// retryable error (server restart, canceled batch, overloaded fleet,
+	// router with every node briefly down). Retrying matters because the
+	// runner interface has no batch-level error channel: an unretried
+	// transient failure becomes per-candidate +Inf scores and the tuner
+	// permanently discards candidates that were never actually measured.
+	// Default 2; negative disables.
 	Retries int
-	// RetryBackoff spaces the re-submissions (default 250ms).
+	// RetryBackoff is the base re-submission delay (default 250ms). Each
+	// attempt doubles the window, capped at RetryBackoffMax, and the actual
+	// sleep is drawn uniformly from it (full jitter) so a population of
+	// clients rejected together does not retry together. A server-supplied
+	// Retry-After (429) floors the delay.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential growth (default 8s).
+	RetryBackoffMax time.Duration
+
+	// sleep replaces the inter-attempt wait when set — the test seam for
+	// asserting pacing without real wall-clock sleeps.
+	sleep func(context.Context, time.Duration) error
 
 	hits, misses atomic.Uint64
 }
@@ -289,20 +312,66 @@ func (r *ServiceRunner) simulateWithRetry(ctx context.Context, req *SimulateRequ
 	if retries == 0 {
 		retries = 2
 	}
-	backoff := r.RetryBackoff
-	if backoff <= 0 {
-		backoff = 250 * time.Millisecond
+	base := r.RetryBackoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	cap := r.RetryBackoffMax
+	if cap <= 0 {
+		cap = 8 * time.Second
+	}
+	if cap < base {
+		cap = base
 	}
 	for attempt := 0; ; attempt++ {
 		resp, err := r.Backend.Simulate(ctx, req)
 		if err == nil || attempt >= retries || !IsRetryable(err) || ctx.Err() != nil {
 			return resp, err
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if serr := r.pause(ctx, retryDelay(base, cap, attempt, retryAfterOf(err))); serr != nil {
+			return nil, serr
 		}
+	}
+}
+
+// retryDelay is capped exponential backoff with full jitter: the window
+// doubles per attempt up to cap and the sleep is drawn uniformly from
+// (0, window] — rejected clients de-synchronize instead of stampeding back
+// in lockstep. A server-supplied Retry-After floors the result; the server
+// knows its own drain rate better than the client's schedule does.
+func retryDelay(base, cap time.Duration, attempt int, floor time.Duration) time.Duration {
+	window := cap
+	if attempt < 32 {
+		if w := base << uint(attempt); w > 0 && w < cap {
+			window = w
+		}
+	}
+	d := time.Duration(rand.Int63n(int64(window))) + 1
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// retryAfterOf extracts the server's pacing hint, if the error carries one.
+func retryAfterOf(err error) time.Duration {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// pause waits d or until ctx dies, through the test seam when installed.
+func (r *ServiceRunner) pause(ctx context.Context, d time.Duration) error {
+	if r.sleep != nil {
+		return r.sleep(ctx, d)
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

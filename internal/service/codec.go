@@ -102,9 +102,18 @@ type Result struct {
 // how loaded each shard is.
 type Statusz struct {
 	UptimeSec float64 `json:"uptime_sec"`
+	// Draining reports that Shutdown has started: the node still answers
+	// statusz but admits no new batches. Routers read it as a planned
+	// down→up cycle and rotate the node out ahead of its restart.
+	Draining bool `json:"draining,omitempty"`
 	// Requests counts simulate batches, Candidates individual candidates.
 	Requests   uint64 `json:"requests"`
 	Candidates uint64 `json:"candidates"`
+	// RejectedCandidates counts candidates refused by the admission gate
+	// (429). Rejected work was never accepted, so — like HandoffKeys — it is
+	// a parallel ledger outside the hits+misses+canceled == candidates
+	// reconciliation. On a router, the sum over reachable nodes.
+	RejectedCandidates uint64 `json:"rejected_candidates"`
 	// CacheHits/CacheMisses partition successfully served candidates;
 	// CacheCanceled counts candidates whose batch was canceled before the
 	// cache could serve them (so hits+misses+canceled reconciles with the
@@ -153,6 +162,9 @@ type NodeStatus struct {
 	// Candidates counts candidates this router routed to the node (its own
 	// statusz may count more — other clients and routers reach it too).
 	Candidates uint64 `json:"candidates"`
+	// Draining mirrors the node's own statusz draining flag at the last
+	// successful poll.
+	Draining bool `json:"draining,omitempty"`
 	// LastErr is the most recent probe/simulate fault ("" when healthy).
 	LastErr string `json:"last_err,omitempty"`
 }

@@ -10,6 +10,36 @@ import (
 	"repro/internal/sim"
 )
 
+// admission is the bounded gate in front of the worker shards: the total
+// candidates admitted (queued or running, across every shard and batch) may
+// not exceed max. It is the server's backpressure primitive — when full, a
+// batch is rejected with a 429 instead of queueing without bound, so memory
+// and latency stay bounded under any client population and a router can
+// shed the load to ring successors.
+//
+// One liveness exception: a batch larger than max is admitted when nothing
+// else is (cur == 0), so an oversized client degrades to serial service
+// rather than being re-rejected forever.
+type admission struct {
+	max int64
+	cur atomic.Int64
+}
+
+// tryAcquire admits n candidates, or reports the gate full.
+func (a *admission) tryAcquire(n int) bool {
+	for {
+		cur := a.cur.Load()
+		if cur > 0 && cur+int64(n) > a.max {
+			return false
+		}
+		if a.cur.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+func (a *admission) release(n int) { a.cur.Add(int64(-n)) }
+
 // shard is the worker pool of one architecture: a fixed number of simulator
 // slots shared by every concurrent batch targeting that arch. Slots are a
 // counting semaphore rather than resident goroutines — the expensive

@@ -231,10 +231,19 @@ func (rt *Router) probe(ctx context.Context) *sync.WaitGroup {
 			defer wg.Done()
 			defer rt.probeWG.Done()
 			probeCtx, cancel := context.WithTimeout(ctx, timeout)
-			_, err := n.backend.Statusz(probeCtx)
+			st, err := n.backend.Statusz(probeCtx)
 			cancel()
 			if err != nil {
 				n.markDown(err)
+				return
+			}
+			if st.Draining {
+				// The node answered but is shutting down: a planned down→up
+				// cycle. Leave rotation now so its keys drain to successors,
+				// and when its replacement answers statusz without the flag,
+				// the normal rejoin replay warms it back up — warm handoff
+				// covers rolling restarts for free.
+				n.markDown(fmt.Errorf("draining"))
 				return
 			}
 			if n.up.Load() || rt.cfg.DisableHandoff {
@@ -397,11 +406,12 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	}
 
 	results := make([]Result, len(req.Candidates))
-	// excluded marks nodes that answered 501 (arch not served there) for
-	// THIS batch: they are healthy and stay in rotation for other archs,
-	// but this batch's keys must route past them.
+	// excluded marks nodes that declined THIS batch while staying healthy:
+	// a 501 (arch not served there) or a 429 (admission gate full). Both
+	// stay in rotation for other traffic, but this batch's keys must route
+	// past them.
 	excluded := make([]bool, len(rt.nodes))
-	var unservedErr error
+	var unservedErr, overloadErr error
 	pick := func(i int) int {
 		if n := rt.ring.owner(keys[i]); rt.nodes[n].up.Load() && !excluded[n] {
 			return n
@@ -422,6 +432,12 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 		for _, i := range remaining {
 			n := pick(i)
 			if n < 0 {
+				if overloadErr != nil {
+					// Every live node is saturated: propagate the 429 (with
+					// its Retry-After) so the client backs off and retries —
+					// the fleet is healthy, just full.
+					return nil, overloadErr
+				}
 				if unservedErr != nil {
 					// Every live node declined the arch: the fleet's config,
 					// not its health, fails this batch — report the stable
@@ -476,6 +492,15 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 				// serve this arch: route around it for this batch only.
 				excluded[o.node] = true
 				unservedErr = o.err
+				rt.rerouted.Add(1)
+				retry = append(retry, o.idx...)
+			case isOverloaded(o.err):
+				// The node's admission gate is full — a load fact, not a
+				// fault. Shed this batch to ring successors without ejecting
+				// the node; if every live node is saturated, the 429 (and its
+				// Retry-After) propagates so the client paces itself.
+				excluded[o.node] = true
+				overloadErr = o.err
 				rt.rerouted.Add(1)
 				retry = append(retry, o.idx...)
 			case !IsRetryable(o.err):
@@ -536,6 +561,8 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 			ns.LastErr = polled[i].err.Error()
 		} else {
 			st := polled[i].st
+			ns.Draining = st.Draining
+			agg.RejectedCandidates += st.RejectedCandidates
 			agg.CacheHits += st.CacheHits
 			agg.CacheMisses += st.CacheMisses
 			agg.CacheCanceled += st.CacheCanceled
@@ -567,8 +594,10 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 func (rt *Router) Handler() http.Handler { return backendHandler(rt) }
 
 // ListenAndServe runs the router's HTTP surface until ctx is cancelled (see
-// Server.ListenAndServe), then stops the health probe.
+// Server.ListenAndServe), then stops the health probe. The router holds no
+// durable state, so it has no drain phase of its own — in-flight proxied
+// batches are bounded by the HTTP shutdown grace below.
 func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
 	defer rt.Close()
-	return serveHTTP(ctx, addr, rt.Handler())
+	return serveHTTP(ctx, addr, rt.Handler(), nil)
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -32,9 +33,25 @@ type Server struct {
 	cache  *resultCache
 	disk   *Store // nil without CacheDir; also reachable as cache.disk
 	start  time.Time
+	admit  admission
 
 	requests   atomic.Uint64
 	candidates atomic.Uint64
+	// rejected counts candidates refused by the admission gate (429). They
+	// were never accepted, so they stay outside the candidates counter and
+	// the hits+misses+canceled == candidates invariant — like handoff, a
+	// parallel ledger.
+	rejected atomic.Uint64
+
+	// drainMu orders the draining flag against inflight.Add: Shutdown flips
+	// the flag under the write lock, so once it holds the lock no new batch
+	// can join the WaitGroup it is about to Wait on.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewServer builds a server from the configuration. With Config.CacheDir
@@ -47,7 +64,9 @@ func NewServer(cfg Config) (*Server, error) {
 	var disk *Store
 	if cfg.CacheDir != "" {
 		var err error
-		disk, err = OpenStore(cfg.CacheDir, StoreOptions{MaxSegmentBytes: cfg.CacheSegmentBytes})
+		disk, err = OpenStore(cfg.CacheDir, StoreOptions{
+			MaxSegmentBytes: cfg.CacheSegmentBytes, WrapFile: cfg.StoreWrapFile,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -58,6 +77,7 @@ func NewServer(cfg Config) (*Server, error) {
 		cache:  newResultCache(cfg.CacheCapacity, disk),
 		disk:   disk,
 		start:  time.Now(),
+		admit:  admission{max: int64(cfg.MaxQueuedCandidates)},
 	}
 	for _, arch := range cfg.Archs {
 		s.shards[arch] = newShard(hw.Lookup(arch), cfg.WorkersPerArch)
@@ -81,12 +101,56 @@ func Local() *Server {
 // Close flushes and closes the durable store (a no-op without CacheDir).
 // Call it on shutdown so the write-behind queue reaches disk; results
 // appended after the last Flush/Close would otherwise be lost to a crash —
-// which is safe (they re-simulate) but wasteful.
+// which is safe (they re-simulate) but wasteful. Close is idempotent — the
+// drain path (Shutdown), signal handlers and deferred cleanups may all call
+// it — and every call returns the first flush/close error rather than
+// swallowing it behind a later no-op.
 func (s *Server) Close() error {
-	if s.disk != nil {
-		return s.disk.Close()
+	s.closeOnce.Do(func() {
+		if s.disk != nil {
+			s.closeErr = s.disk.Close()
+		}
+	})
+	return s.closeErr
+}
+
+// Shutdown drains the server the way SIGTERM should: it stops admitting new
+// batches (they fail with a retryable 503 carrying "draining", and statusz
+// reports Draining so a router treats the node as a planned down→up cycle),
+// waits for every in-flight batch to finish — their results land in the
+// cache and the write-behind store as usual — and then flushes and closes
+// the durable store. If ctx expires first, the store is still flushed with
+// whatever completed, the stragglers keep running under their own contexts
+// (the caller may cancel those; a post-close store write is a safe no-op)
+// and ctx's error is returned. Shutdown is idempotent and safe to race with
+// Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
 	}
-	return nil
+	if err := s.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// Draining reports whether Shutdown has started.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
 }
 
 // Simulate implements Backend: every candidate is served from the result
@@ -103,6 +167,18 @@ func (s *Server) Close() error {
 // any candidate's viability, so it must surface as a batch-level error the
 // caller can retry.
 func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	// Drain gate first: once Shutdown has started, no new batch may join
+	// the in-flight set. The 503 is retryable — a router fails the batch
+	// over to ring successors, exactly like a node that is already gone.
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return nil, fmt.Errorf("service: %w", unavailablef("draining: shutting down"))
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	defer s.inflight.Done()
+
 	arch, err := isa.ParseArch(req.Arch)
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
@@ -120,6 +196,16 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 	if err != nil {
 		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
 	}
+	// Admission: the request is well-formed but the node is full — refuse
+	// rather than queue without bound. Rejected candidates are never
+	// "accepted", so they are counted in their own ledger and the
+	// hits+misses+canceled == candidates invariant is untouched.
+	if !s.admit.tryAcquire(len(req.Candidates)) {
+		s.rejected.Add(uint64(len(req.Candidates)))
+		return nil, fmt.Errorf("service: %w", overloadedf(s.cfg.RetryAfterHint,
+			"overloaded: %d candidates admitted (max %d)", s.admit.cur.Load(), s.cfg.MaxQueuedCandidates))
+	}
+	defer s.admit.release(len(req.Candidates))
 	s.requests.Add(1)
 	s.candidates.Add(uint64(len(req.Candidates)))
 
@@ -165,8 +251,10 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 func (s *Server) Statusz(context.Context) (*Statusz, error) {
 	st := &Statusz{
 		UptimeSec:     time.Since(s.start).Seconds(),
+		Draining:      s.Draining(),
 		Requests:      s.requests.Load(),
 		Candidates:    s.candidates.Load(),
+		RejectedCandidates: s.rejected.Load(),
 		CacheHits:     s.cache.hits.Load(),
 		CacheMisses:   s.cache.misses.Load(),
 		CacheCanceled: s.cache.canceled.Load(),
@@ -229,7 +317,7 @@ func backendHandler(b Backend) http.Handler {
 		}
 		resp, err := b.Simulate(r.Context(), &req)
 		if err != nil {
-			httpError(w, httpStatus(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, resp)
@@ -241,7 +329,7 @@ func backendHandler(b Backend) http.Handler {
 		}
 		st, err := b.Statusz(r.Context())
 		if err != nil {
-			httpError(w, httpStatus(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, st)
@@ -271,7 +359,7 @@ func registerHandoffRoutes(mux *http.ServeMux, hb HandoffBackend) {
 		}
 		keys, err := hb.Keys(r.Context(), lo, hi)
 		if err != nil {
-			httpError(w, httpStatus(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, &KeysResponse{Keys: keys})
@@ -289,7 +377,7 @@ func registerHandoffRoutes(mux *http.ServeMux, hb HandoffBackend) {
 		}
 		entries, err := hb.Fetch(r.Context(), req.Keys)
 		if err != nil {
-			httpError(w, httpStatus(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, &FetchResponse{Entries: entries})
@@ -307,7 +395,7 @@ func registerHandoffRoutes(mux *http.ServeMux, hb HandoffBackend) {
 		}
 		n, err := hb.Ingest(r.Context(), req.Entries)
 		if err != nil {
-			httpError(w, httpStatus(err), err.Error())
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, &IngestResponse{Ingested: n})
@@ -342,23 +430,53 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// ListenAndServe runs the HTTP server until ctx is cancelled, then shuts
-// down. Request contexts derive from ctx (BaseContext), so cancelling it
-// aborts in-flight batches too: ParallelCtx stops dispatching, the
-// already-running simulations drain into the cache, handlers return, and
-// Shutdown completes — Shutdown alone would wait out active handlers
-// without ever cancelling them.
+// writeError renders a backend error with its Error classification as the
+// HTTP status. An overload rejection additionally carries its pacing hint
+// twice: the standard Retry-After header (whole seconds, ceiling — the header
+// cannot express less) and a retry_after_ms body field preserving sub-second
+// precision for our own client.
+func writeError(w http.ResponseWriter, err error) {
+	var se *Error
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		secs := int64((se.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(se.Status)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":          err.Error(),
+			"retry_after_ms": se.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	httpError(w, httpStatus(err), err.Error())
+}
+
+// ListenAndServe runs the HTTP server until ctx is cancelled, then drains:
+// Server.Shutdown stops admitting (new batches 503 with "draining" and
+// statusz reports Draining, so a router rotates the node out as a planned
+// restart), in-flight batches finish and the store is flushed and closed —
+// all bounded by Config.DrainTimeout. Only if the drain deadline passes are
+// the stragglers hard-aborted through their request contexts.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	return serveHTTP(ctx, addr, s.Handler())
+	return serveHTTP(ctx, addr, s.Handler(), func() error {
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		return s.Shutdown(drainCtx)
+	})
 }
 
 // serveHTTP is the shared listen/shutdown loop behind Server.ListenAndServe
-// and Router.ListenAndServe.
-func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
+// and Router.ListenAndServe. Request contexts derive from an internal base
+// context that outlives ctx: cancelling ctx triggers drain (when the backend
+// has one) with in-flight batches still running; the base is cancelled only
+// after drain returns, hard-aborting whatever the drain deadline left behind.
+func serveHTTP(ctx context.Context, addr string, h http.Handler, drain func() error) error {
+	baseCtx, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
 	httpSrv := &http.Server{
 		Addr:        addr,
 		Handler:     h,
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -366,8 +484,17 @@ func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		var drainErr error
+		if drain != nil {
+			drainErr = drain()
+		}
+		hardStop()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(shutdownCtx)
+		err := httpSrv.Shutdown(shutdownCtx)
+		if drainErr != nil {
+			return drainErr
+		}
+		return err
 	}
 }

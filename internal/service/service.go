@@ -74,6 +74,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/runner"
@@ -125,24 +127,50 @@ type HandoffBackend interface {
 // Error is a classified service failure. Status carries the HTTP taxonomy
 // even for in-process backends: 4xx means the request itself is wrong
 // (malformed arch/workload — retrying, here or on any other node, fails
-// identically), 5xx means this server could not do the work right now
-// (canceled batch, unserved arch under the operator's -archs config, node
-// fault) and a router may fail the batch over to a replica. handleSimulate
-// writes Status on the wire and Client.roundTrip reconstructs it, so the
-// classification survives the HTTP hop.
+// identically), 429 means the node's admission queue is full right now
+// (retry after RetryAfter, ideally elsewhere), 5xx means this server could
+// not do the work right now (canceled batch, unserved arch under the
+// operator's -archs config, node fault) and a router may fail the batch
+// over to a replica. writeError puts Status (and RetryAfter) on the wire
+// and Client.roundTrip reconstructs them, so the classification survives
+// the HTTP hop.
 type Error struct {
 	Status int
 	Msg    string
+	// RetryAfter, when non-zero, is the server's pacing hint for retrying
+	// the identical request (429 overload rejections carry it). It travels
+	// as a standard Retry-After header (whole seconds) plus a
+	// retry_after_ms field in the JSON error body for sub-second hints.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string { return e.Msg }
 
+// ErrOverloaded is the admission-control rejection: the node's bounded
+// admission queue (Config.MaxQueuedCandidates) is full and the batch was
+// refused rather than queued without bound. Match with
+// errors.Is(err, ErrOverloaded); the concrete *Error carries the
+// Retry-After pacing hint. Overload is retryable — the identical batch
+// succeeds once load drains, or immediately on a less-loaded replica, and
+// a router tries ring successors before propagating the 429.
+var ErrOverloaded = &Error{Status: 429, Msg: "overloaded"}
+
+// Is lets errors.Is(err, ErrOverloaded) match any 429 Error regardless of
+// its message or Retry-After hint.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t == ErrOverloaded && e.Status == 429
+}
+
 // Retryable reports whether the failure is transient: the identical request
 // may succeed later or on another node. Client errors are deterministic and
-// never retryable; 501 (arch not served here) is stable operator
-// configuration, not a transient fault — retrying the same node is futile,
-// and a router routes around it without treating the node as sick.
-func (e *Error) Retryable() bool { return e.Status >= 500 && e.Status != 501 }
+// never retryable — except 429, which says "not now", not "not ever"; 501
+// (arch not served here) is stable operator configuration, not a transient
+// fault — retrying the same node is futile, and a router routes around it
+// without treating the node as sick.
+func (e *Error) Retryable() bool {
+	return e.Status == 429 || (e.Status >= 500 && e.Status != 501)
+}
 
 func badRequestf(format string, args ...any) *Error {
 	return &Error{Status: 400, Msg: fmt.Sprintf(format, args...)}
@@ -155,6 +183,14 @@ func unavailablef(format string, args ...any) *Error {
 func unservedf(format string, args ...any) *Error {
 	return &Error{Status: 501, Msg: fmt.Sprintf(format, args...)}
 }
+
+func overloadedf(retryAfter time.Duration, format string, args ...any) *Error {
+	return &Error{Status: 429, Msg: fmt.Sprintf(format, args...), RetryAfter: retryAfter}
+}
+
+// isOverloaded reports the 429 admission rejection — the class a router
+// retries on ring successors (the node is hot, not sick) before propagating.
+func isOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
 
 // isUnserved reports the 501 "arch not served on this node" condition — the
 // one class a router must route around per-batch without ejecting the
@@ -210,6 +246,30 @@ type Config struct {
 	// CacheSegmentBytes rotates store segments past this size (default
 	// 64 MB). Only meaningful with CacheDir.
 	CacheSegmentBytes int64
+	// StoreWrapFile, when non-nil, wraps every segment file the durable
+	// store opens — the fault-injection seam the chaos harness uses to
+	// exercise short writes and fsync failures (see StoreFaults). Leave nil
+	// in production.
+	StoreWrapFile func(*os.File) StoreFile
+	// MaxQueuedCandidates bounds the candidates a server will hold admitted
+	// (queued or running) across all shards at once — the admission gate in
+	// front of the worker pools. A batch that would push the total past the
+	// bound is rejected with a typed 429 (ErrOverloaded) carrying a
+	// Retry-After hint instead of queueing without bound; rejections are
+	// counted in statusz as rejected_candidates, outside the
+	// hits+misses+canceled == candidates invariant. Default 1<<16 —
+	// generous: rejection should mean genuine overload, not a burst.
+	// A batch larger than the bound is still admitted when the server is
+	// otherwise idle, so one oversized client degrades to serial service
+	// instead of being rejected forever.
+	MaxQueuedCandidates int
+	// RetryAfterHint paces rejected clients: the Retry-After carried by 429
+	// responses (default 1s).
+	RetryAfterHint time.Duration
+	// DrainTimeout bounds the graceful-drain phase of ListenAndServe's
+	// shutdown: how long in-flight batches may finish after SIGINT/SIGTERM
+	// before they are hard-canceled (default 30s).
+	DrainTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -221,6 +281,15 @@ func (c *Config) defaults() {
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 1 << 18
+	}
+	if c.MaxQueuedCandidates <= 0 {
+		c.MaxQueuedCandidates = 1 << 16
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 }
 

@@ -51,6 +51,18 @@ const (
 	defaultSegmentBytes = 64 << 20
 )
 
+// StoreFile is the slice of *os.File the store actually uses — the seam the
+// fault-injection harness wraps to exercise short writes and fsync errors
+// without a real failing disk. Production stores use *os.File directly.
+type StoreFile interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
 // StoreOptions tune a Store. The zero value is production-ready.
 type StoreOptions struct {
 	// MaxSegmentBytes rotates the active segment past this size
@@ -58,6 +70,9 @@ type StoreOptions struct {
 	MaxSegmentBytes int64
 	// Logf sinks corruption and compaction warnings (default log.Printf).
 	Logf func(format string, args ...any)
+	// WrapFile, when set, wraps every segment file handle the store opens.
+	// Fault-injection hook; nil means use the file as-is.
+	WrapFile func(*os.File) StoreFile
 }
 
 // recordRef locates one live record: segment id, payload offset, payload
@@ -85,12 +100,13 @@ type Store struct {
 	dir    string
 	maxSeg int64
 	logf   func(format string, args ...any)
+	wrap   func(*os.File) StoreFile
 
 	mu         sync.Mutex
 	index      map[Key]recordRef
 	pending    map[Key]Result // queued for the writer, not yet indexed
-	readers    map[int]*os.File
-	active     *os.File
+	readers    map[int]StoreFile
+	active     StoreFile
 	activeID   int
 	activeSize int64
 	liveBytes  int64 // bytes of records the index references
@@ -137,9 +153,10 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		dir:     dir,
 		maxSeg:  opts.MaxSegmentBytes,
 		logf:    opts.Logf,
+		wrap:    opts.WrapFile,
 		index:   make(map[Key]recordRef),
 		pending: make(map[Key]Result),
-		readers: make(map[int]*os.File),
+		readers: make(map[int]StoreFile),
 		queue:   make(chan storeOp, 1024),
 	}
 	ids, err := s.segmentIDs()
@@ -193,14 +210,23 @@ func (s *Store) segPath(id int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", id))
 }
 
+// wrapFile applies the WrapFile fault hook, if any.
+func (s *Store) wrapFile(f *os.File) StoreFile {
+	if s.wrap != nil {
+		return s.wrap(f)
+	}
+	return f
+}
+
 // scanSegment replays one segment into the index, stopping (with a warning)
 // at the first truncated or corrupt record — the valid prefix stays live.
 // Later segments override earlier records for the same key.
 func (s *Store) scanSegment(id int) error {
-	f, err := os.Open(s.segPath(id))
+	osf, err := os.Open(s.segPath(id))
 	if err != nil {
 		return fmt.Errorf("service: store: %w", err)
 	}
+	f := s.wrapFile(osf)
 	br := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(storeMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != storeMagic {
@@ -251,10 +277,11 @@ func (s *Store) scanSegment(id int) error {
 
 // openActive creates segment id and makes it the append target.
 func (s *Store) openActive(id int) error {
-	f, err := os.OpenFile(s.segPath(id), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	osf, err := os.OpenFile(s.segPath(id), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("service: store: %w", err)
 	}
+	f := s.wrapFile(osf)
 	if _, err := f.Write([]byte(storeMagic)); err != nil {
 		f.Close()
 		return fmt.Errorf("service: store: %w", err)
@@ -520,7 +547,7 @@ func (s *Store) compact() error {
 	// Phase 1 (under mu): snapshot the live layout.
 	s.mu.Lock()
 	oldIDs := make([]int, 0, len(s.readers))
-	oldReaders := make(map[int]*os.File, len(s.readers))
+	oldReaders := make(map[int]StoreFile, len(s.readers))
 	for id, f := range s.readers {
 		oldIDs = append(oldIDs, id)
 		oldReaders[id] = f
@@ -548,15 +575,16 @@ func (s *Store) compact() error {
 
 	newIndex := make(map[Key]recordRef, len(live))
 	var newLive int64
-	var out *os.File
+	var out StoreFile
 	outID := 0
 	var outSize int64
-	newReaders := make(map[int]*os.File)
+	newReaders := make(map[int]StoreFile)
 	openOut := func() error {
-		f, err := os.OpenFile(s.segPath(nextID), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+		osf, err := os.OpenFile(s.segPath(nextID), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}
+		f := s.wrapFile(osf)
 		if _, err := f.Write([]byte(storeMagic)); err != nil {
 			f.Close()
 			return err
