@@ -302,7 +302,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
 	})
-	b.Run("hit", func(b *testing.B) {
+	hit := func(b *testing.B, cfg service.Config) {
 		srv := mustBenchServer(b, cfg)
 		if _, err := srv.Simulate(ctx, req); err != nil {
 			b.Fatal(err)
@@ -319,7 +319,14 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
-	})
+	}
+	b.Run("hit", func(b *testing.B) { hit(b, cfg) })
+	// The telemetry A/B pair: "hit" carries the full instrument panel
+	// (per-stage histograms, trace spans); "hit-notel" disables it. The CI
+	// metrics-smoke job asserts the gap stays under the 2% budget.
+	cfgOff := cfg
+	cfgOff.DisableTelemetry = true
+	b.Run("hit-notel", func(b *testing.B) { hit(b, cfgOff) })
 }
 
 // BenchmarkRouterThroughput measures the consistent-hash routing tier on the
@@ -359,23 +366,30 @@ func BenchmarkRouterThroughput(b *testing.B) {
 		})
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
 	}
-	router := func(nodes int) *service.Router {
+	cfgOff := cfg
+	cfgOff.DisableTelemetry = true
+	router := func(nodes int, cfg service.Config, rcfg service.RouterConfig) *service.Router {
 		ids := make([]string, nodes)
 		backends := make([]service.Backend, nodes)
 		for i := range ids {
 			ids[i] = fmt.Sprintf("node-%d", i)
 			backends[i] = mustBenchServer(b, cfg)
 		}
-		rt, err := service.NewRouterBackends(ids, backends, service.RouterConfig{ProbeInterval: -1})
+		rt, err := service.NewRouterBackends(ids, backends, rcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return rt
 	}
+	on := service.RouterConfig{ProbeInterval: -1}
+	off := service.RouterConfig{ProbeInterval: -1, DisableTelemetry: true}
 
 	b.Run("hit-direct", func(b *testing.B) { hitPath(b, mustBenchServer(b, cfg)) })
-	b.Run("hit-1node", func(b *testing.B) { hitPath(b, router(1)) })
-	b.Run("hit-3node", func(b *testing.B) { hitPath(b, router(3)) })
+	b.Run("hit-1node", func(b *testing.B) { hitPath(b, router(1, cfg, on)) })
+	b.Run("hit-3node", func(b *testing.B) { hitPath(b, router(3, cfg, on)) })
+	// Telemetry A/B: the same fleet with every histogram and trace disabled
+	// at both tiers — the router-path half of the <2% overhead budget.
+	b.Run("hit-3node-notel", func(b *testing.B) { hitPath(b, router(3, cfgOff, off)) })
 }
 
 // BenchmarkTimingModel measures the cycle-approximate back-end.

@@ -56,6 +56,10 @@ func serve(args []string) error {
 	segBytes := fs.Int64("cache-seg-bytes", 0, "store segment rotation size in bytes (default 64 MB)")
 	maxQueued := fs.Int("max-queued", 0, "admission bound: candidates held (queued+running) before new batches get 429 + Retry-After (default 65536)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-drain budget after SIGINT/SIGTERM: how long in-flight batches may finish before hard cancel (default 30s)")
+	slowBatch := fs.Duration("slow-batch", 0, "log a structured slow-batch line for batches slower than this (0 = off)")
+	traceRing := fs.Int("trace-ring", 0, "batch traces retained for GET /v1/traces (default 256, negative disables tracing)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	noTel := fs.Bool("no-telemetry", false, "disable stage histograms and tracing (counters on /v1/metrics remain)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +75,8 @@ func serve(args []string) error {
 		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
 		CacheDir: *cacheDir, CacheSegmentBytes: *segBytes,
 		MaxQueuedCandidates: *maxQueued, DrainTimeout: *drainTimeout,
+		SlowBatchThreshold: *slowBatch, TraceRingSize: *traceRing,
+		EnablePprof: *pprofFlag, DisableTelemetry: *noTel,
 	})
 	if err != nil {
 		return err
@@ -83,7 +89,7 @@ func serve(args []string) error {
 		st, _ := srv.Statusz(ctx)
 		fmt.Printf("  durable store %s: %d results recovered\n", *cacheDir, st.CacheDiskEntries)
 	}
-	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz\n", *addr, *addr)
+	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz   GET %s/v1/metrics\n", *addr, *addr, *addr)
 	// SIGINT/SIGTERM cancel ctx; ListenAndServe then drains gracefully —
 	// stops admitting (statusz flips to draining, routers rotate the node
 	// out), lets in-flight batches finish within -drain-timeout, and flushes
@@ -112,6 +118,10 @@ func route(args []string) error {
 	probe := fs.Duration("probe", 2*time.Second, "health-probe interval (a recovered node rejoins within one interval)")
 	handoff := fs.Bool("handoff", true, "warm-handoff on rejoin: replay the keys a recovered node owns from its ring successors before it re-enters rotation")
 	handoffChunk := fs.Int("handoff-chunk", 0, "results per fetch/ingest round trip during handoff (default 256)")
+	slowBatch := fs.Duration("slow-batch", 0, "log a structured slow-batch line for batches slower than this (0 = off)")
+	traceRing := fs.Int("trace-ring", 0, "batch traces retained for GET /v1/traces (default 256, negative disables tracing)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	noTel := fs.Bool("no-telemetry", false, "disable stage histograms and tracing (counters on /v1/metrics remain)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +137,8 @@ func route(args []string) error {
 	rt, err := service.NewRouter(service.RouterConfig{
 		Nodes: nodes, Replicas: *replicas, ProbeInterval: *probe,
 		DisableHandoff: !*handoff, HandoffChunk: *handoffChunk,
+		SlowBatchThreshold: *slowBatch, TraceRingSize: *traceRing,
+		EnablePprof: *pprofFlag, DisableTelemetry: *noTel,
 	})
 	if err != nil {
 		return err
@@ -137,7 +149,7 @@ func route(args []string) error {
 	for _, n := range nodes {
 		fmt.Printf("  %s\n", n)
 	}
-	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz (aggregated)\n", *addr, *addr)
+	fmt.Printf("  POST %s/v1/simulate   GET %s/v1/statusz (aggregated)   GET %s/v1/metrics (fleet-merged)\n", *addr, *addr, *addr)
 	return rt.ListenAndServe(ctx, *addr)
 }
 
@@ -264,6 +276,12 @@ func tuneSimulator(arch isa.Arch, scale te.Scale, group, trials int, predName st
 		hits, misses, simSec := simtune.CacheStats(records)
 		fmt.Printf("service cache: %d hits / %d misses (%.0f%% absorbed), %.3f s simulated\n",
 			hits, misses, 100*float64(hits)/float64(max(1, hits+misses)), simSec)
+		if ct, ok := model.ServiceStats(); ok {
+			fmt.Printf("service client: %d attempts (%d retried, %.1f s backoff), attempt p50=%.1fms p99=%.1fms\n",
+				ct.Attempts, ct.Retries, ct.BackoffTotal.Seconds(),
+				float64(ct.AttemptLatency.Quantile(0.5))/1e6,
+				float64(ct.AttemptLatency.Quantile(0.99))/1e6)
+		}
 	}
 	top := simtune.TopK(records, topK)
 	fmt.Printf("top %d of %d candidates by predicted score:\n", len(top), len(records))

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketOf pins the bucket boundaries the merge/quantile math
+// depends on.
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {int64(1) << 45, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// (run under -race in CI): no observation may be lost and the counters must
+// reconcile exactly once the writers stop.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	const writers, perWriter = 8, 5000
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(rng.Int63n(1 << 30)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketSum uint64
+	for _, n := range s.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.MaxNS <= 0 || s.SumNS < s.MaxNS {
+		t.Fatalf("implausible sum=%d max=%d", s.SumNS, s.MaxNS)
+	}
+}
+
+// TestHistogramMergeAssociativity: merging snapshots must be associative
+// and commutative — the property that lets a router fold node snapshots in
+// any fan-in order and still report exact fleet quantiles.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() Snapshot {
+		h := &Histogram{}
+		for i := 0; i < 500; i++ {
+			h.Observe(time.Duration(rng.Int63n(1 << 35)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+
+	cb := c
+	cb.Merge(b)
+	abc3 := cb
+	abc3.Merge(a)
+
+	for name, got := range map[string]Snapshot{"a(bc)": abc2, "(cb)a": abc3} {
+		if got != abc1 {
+			t.Fatalf("merge not associative/commutative: (ab)c=%+v %s=%+v", abc1, name, got)
+		}
+	}
+	if abc1.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", abc1.Count, a.Count+b.Count+c.Count)
+	}
+}
+
+// TestHistogramQuantileErrorBounds checks the documented factor-of-two
+// bound against a sorted reference on adversarial distributions: constant,
+// bimodal with extreme separation, geometric (every bucket hit), heavy
+// tail, and bucket-boundary values.
+func TestHistogramQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dists := map[string][]int64{
+		"constant":  repeat(4096, 10000),
+		"boundary":  repeat(1<<20, 777), // exact pow2: lands on a bucket edge
+		"two-point": append(repeat(3, 5000), repeat(int64(1)<<33, 5000)...),
+		"geometric": func() []int64 {
+			var v []int64
+			for b := 1; b < 36; b++ {
+				for i := 0; i < 64; i++ {
+					v = append(v, (int64(1)<<b)+rng.Int63n(int64(1)<<b))
+				}
+			}
+			return v
+		}(),
+		"heavy-tail": func() []int64 {
+			var v []int64
+			for i := 0; i < 9990; i++ {
+				v = append(v, 100+rng.Int63n(900))
+			}
+			for i := 0; i < 10; i++ {
+				v = append(v, int64(1)<<30)
+			}
+			return v
+		}(),
+	}
+	for name, vals := range dists {
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Observe(time.Duration(v))
+		}
+		s := h.Snapshot()
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+			rank := int(q * float64(len(sorted)))
+			if rank < 1 {
+				rank = 1
+			}
+			truth := sorted[rank-1]
+			est := int64(s.Quantile(q))
+			if truth >= 2 {
+				ratio := float64(est) / float64(truth)
+				if ratio <= 0.5 || ratio > 2.0 {
+					t.Errorf("%s q=%v: est %d vs true %d (ratio %.3f outside (1/2, 2])",
+						name, q, est, truth, ratio)
+				}
+			} else if est > 2 {
+				t.Errorf("%s q=%v: est %d for true %d (sub-2ns bucket)", name, q, est, truth)
+			}
+		}
+		if got := int64(s.Max()); got != sorted[len(sorted)-1] {
+			t.Errorf("%s: max %d, want %d (max is tracked exactly)", name, got, sorted[len(sorted)-1])
+		}
+	}
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestHistogramSnapshotWhileRecording: snapshots taken under concurrent
+// writes must be internally consistent (Count equals the bucket sum — never
+// torn against the buckets) and monotone between reads.
+func TestHistogramSnapshotWhileRecording(t *testing.T) {
+	h := &Histogram{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(rng.Int63n(1 << 25)))
+				}
+			}
+		}(int64(w))
+	}
+	var prev Snapshot
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var bucketSum uint64
+		for _, n := range s.Buckets {
+			bucketSum += n
+		}
+		if bucketSum != s.Count {
+			t.Fatalf("snapshot %d torn: bucket sum %d != count %d", i, bucketSum, s.Count)
+		}
+		if s.Count < prev.Count {
+			t.Fatalf("snapshot %d count went backwards: %d -> %d", i, prev.Count, s.Count)
+		}
+		for b := range s.Buckets {
+			if s.Buckets[b] < prev.Buckets[b] {
+				t.Fatalf("snapshot %d bucket %d went backwards: %d -> %d",
+					i, b, prev.Buckets[b], s.Buckets[b])
+			}
+		}
+		if s.Count > 0 {
+			if q := s.Quantile(0.99); q <= 0 || int64(q) > BucketBound(NumBuckets-1) {
+				t.Fatalf("snapshot %d: implausible p99 %v", i, q)
+			}
+		}
+		prev = s
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNilHistogramIsDisabled: the nil receivers must be safe — they are the
+// telemetry-off mode.
+func TestNilHistogramIsDisabled(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot %+v", s)
+	}
+	var m *Metrics
+	if got := m.Histogram("x", ""); got != nil {
+		t.Fatalf("nil metrics handed out %v", got)
+	}
+	if got := m.Snapshot(); got != nil {
+		t.Fatalf("nil metrics snapshot %v", got)
+	}
+}
+
+// TestQuantileEdgeCases covers empty and single-sample snapshots.
+func TestQuantileEdgeCases(t *testing.T) {
+	var s Snapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+	h := &Histogram{}
+	h.Observe(1500)
+	one := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := int64(one.Quantile(q))
+		if got < 1024 || got > 2048 {
+			t.Fatalf("q=%v: %d outside the sample's bucket [1024,2048]", q, got)
+		}
+	}
+}

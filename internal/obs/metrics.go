@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Metrics is a registry of named histograms. Registration (Histogram) takes
+// a lock and is meant for setup time — hot paths hold the returned
+// *Histogram directly. A nil *Metrics hands out nil histograms, which
+// discard observations, so telemetry can be disabled wholesale.
+type Metrics struct {
+	mu    sync.Mutex
+	hists map[string]*Histogram
+	order []string
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{hists: make(map[string]*Histogram)}
+}
+
+// Histogram returns the histogram registered under (name, labels), creating
+// it on first use. name must be a valid Prometheus metric name; labels is
+// the pre-rendered label body without braces, e.g.
+// `stage="simulate",arch="riscv"` (empty for none) — see Labels.
+func (m *Metrics) Histogram(name, labels string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	key := name + "{" + labels + "}"
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[key]
+	if !ok {
+		h = &Histogram{}
+		m.hists[key] = h
+		m.order = append(m.order, key)
+	}
+	return h
+}
+
+// Labels renders alternating key/value pairs as a Prometheus label body:
+// Labels("stage", "simulate", "arch", "riscv") → `stage="simulate",arch="riscv"`.
+func Labels(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// HistSnapshot is one named histogram state in a MetricsSnapshot.
+type HistSnapshot struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Snapshot
+}
+
+// Snapshot captures every registered histogram. Registration order is
+// preserved so repeated scrapes render stably.
+func (m *Metrics) Snapshot() []HistSnapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	keys := append([]string(nil), m.order...)
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = m.hists[k]
+	}
+	m.mu.Unlock()
+	out := make([]HistSnapshot, len(keys))
+	for i, k := range keys {
+		brace := strings.IndexByte(k, '{')
+		out[i] = HistSnapshot{
+			Name:     k[:brace],
+			Labels:   strings.TrimSuffix(k[brace+1:], "}"),
+			Snapshot: hists[i].Snapshot(),
+		}
+	}
+	return out
+}
+
+// ScalarMetric is one counter or gauge sample.
+type ScalarMetric struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// MetricsSnapshot is the complete mergeable telemetry state of one tier —
+// the JSON body of GET /v1/metricsz and the unit a router merges across its
+// nodes before rendering GET /v1/metrics, which is what makes fleet
+// quantiles exact instead of averaged.
+type MetricsSnapshot struct {
+	Hists    []HistSnapshot `json:"hists,omitempty"`
+	Counters []ScalarMetric `json:"counters,omitempty"`
+	Gauges   []ScalarMetric `json:"gauges,omitempty"`
+}
+
+// Merge folds o into s: histograms and counters with the same (name,
+// labels) add (histograms bucket-wise — the exact-quantile merge), gauges
+// add too (fleet totals: queue depths, heap bytes), and unmatched series
+// append. Merge is associative and commutative over snapshot sets.
+func (s *MetricsSnapshot) Merge(o *MetricsSnapshot) {
+	if o == nil {
+		return
+	}
+	hidx := make(map[string]int, len(s.Hists))
+	for i, h := range s.Hists {
+		hidx[h.Name+"{"+h.Labels+"}"] = i
+	}
+	for _, h := range o.Hists {
+		if i, ok := hidx[h.Name+"{"+h.Labels+"}"]; ok {
+			s.Hists[i].Snapshot.Merge(h.Snapshot)
+		} else {
+			hidx[h.Name+"{"+h.Labels+"}"] = len(s.Hists)
+			s.Hists = append(s.Hists, h)
+		}
+	}
+	s.Counters = mergeScalars(s.Counters, o.Counters)
+	s.Gauges = mergeScalars(s.Gauges, o.Gauges)
+}
+
+func mergeScalars(dst, src []ScalarMetric) []ScalarMetric {
+	idx := make(map[string]int, len(dst))
+	for i, c := range dst {
+		idx[c.Name+"{"+c.Labels+"}"] = i
+	}
+	for _, c := range src {
+		if i, ok := idx[c.Name+"{"+c.Labels+"}"]; ok {
+			dst[i].Value += c.Value
+		} else {
+			idx[c.Name+"{"+c.Labels+"}"] = len(dst)
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format: counters (…_total convention), gauges, then histograms as
+// cumulative le-bucketed series with _sum and _count. Series are sorted by
+// (name, labels) within each family so scrapes diff cleanly.
+func (s *MetricsSnapshot) WritePrometheus(w io.Writer) {
+	writeScalarFamily(w, s.Counters, "counter")
+	writeScalarFamily(w, s.Gauges, "gauge")
+
+	hists := append([]HistSnapshot(nil), s.Hists...)
+	sort.SliceStable(hists, func(i, j int) bool {
+		if hists[i].Name != hists[j].Name {
+			return hists[i].Name < hists[j].Name
+		}
+		return hists[i].Labels < hists[j].Labels
+	})
+	lastName := ""
+	for _, h := range hists {
+		if h.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name)
+			lastName = h.Name
+		}
+		var cum uint64
+		for b, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				h.Name, labelPrefix(h.Labels), formatSeconds(BucketBound(b)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.Name, labelPrefix(h.Labels), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, braced(h.Labels), formatSeconds(h.SumNS))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, braced(h.Labels), h.Count)
+	}
+}
+
+func writeScalarFamily(w io.Writer, series []ScalarMetric, typ string) {
+	series = append([]ScalarMetric(nil), series...)
+	sort.SliceStable(series, func(i, j int) bool {
+		if series[i].Name != series[j].Name {
+			return series[i].Name < series[j].Name
+		}
+		return series[i].Labels < series[j].Labels
+	})
+	lastName := ""
+	for _, c := range series {
+		if c.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s %s\n", c.Name, typ)
+			lastName = c.Name
+		}
+		fmt.Fprintf(w, "%s%s %s\n", c.Name, braced(c.Labels), strconv.FormatFloat(c.Value, 'g', -1, 64))
+	}
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// braced wraps a non-empty label body in braces (empty label sets render as
+// bare metric names — `{}` is not part of the exposition grammar).
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatSeconds renders nanoseconds as seconds with full precision.
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// RuntimeGauges samples process-level gauges (goroutines, heap) for a
+// metrics snapshot.
+func RuntimeGauges() []ScalarMetric {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []ScalarMetric{
+		{Name: "simtune_goroutines", Value: float64(runtime.NumGoroutine())},
+		{Name: "simtune_heap_alloc_bytes", Value: float64(ms.HeapAlloc)},
+		{Name: "simtune_heap_sys_bytes", Value: float64(ms.HeapSys)},
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// NumGoroutine reports the current goroutine count — re-exported so
+// telemetry consumers (gauges, tests) need no direct runtime import.
+func NumGoroutine() int { return runtime.NumGoroutine() }
+
+// GoroutineSentinel is the shared leak check: record a baseline before
+// starting work, then assert the count settled back afterwards. It replaces
+// the ad-hoc NumGoroutine polling loops the chaos and drain suites grew
+// independently.
+type GoroutineSentinel struct {
+	base int
+}
+
+// NewGoroutineSentinel snapshots the current goroutine count as baseline.
+func NewGoroutineSentinel() *GoroutineSentinel {
+	return &GoroutineSentinel{base: runtime.NumGoroutine()}
+}
+
+// Base returns the baseline count.
+func (g *GoroutineSentinel) Base() int { return g.base }
+
+// Excess returns how many goroutines run above baseline (can be negative).
+func (g *GoroutineSentinel) Excess() int { return runtime.NumGoroutine() - g.base }
+
+// WaitSettled polls until the goroutine count is within tolerance of the
+// baseline or timeout elapses; on timeout it returns an error carrying a
+// full stack dump of every goroutine, so the leaked one is named in the
+// failure instead of needing a re-run under a debugger.
+func (g *GoroutineSentinel) WaitSettled(tolerance int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= g.base+tolerance {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return fmt.Errorf("goroutine leak: %d running, baseline %d (tolerance %d)\n%s",
+				n, g.base, tolerance, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds one trace's span list: a 10k-candidate cold batch
+// would otherwise record tens of thousands of spans. Past the cap, spans
+// are counted in Trace.DroppedSpans instead of stored — the histograms
+// still see every one of them.
+const maxSpansPerTrace = 64
+
+// Span is one timed stage inside a trace. Aggregated spans (N > 1) fold
+// many same-stage events into one entry — e.g. every RAM cache hit of a
+// batch becomes a single cache_lookup span whose DurNS is the summed lookup
+// time across candidates.
+type Span struct {
+	// Stage names the pipeline stage (the taxonomy in ARCHITECTURE.md):
+	// admission, queue_wait, cache_lookup, disk_hit, singleflight_wait,
+	// simulate, store_write, encode on a node; split, dispatch, reroute on
+	// a router.
+	Stage string `json:"stage"`
+	// StartNS is the span start as Unix nanoseconds.
+	StartNS int64 `json:"start_unix_ns"`
+	// DurNS is the span duration (summed across events when N > 1).
+	DurNS int64 `json:"dur_ns"`
+	// N is how many events the span aggregates (0 or 1: a single event).
+	N int `json:"n,omitempty"`
+	// Note carries stage-specific detail: the outcome, a node id, an error.
+	Note string `json:"note,omitempty"`
+}
+
+// Trace is the recorded timeline of one batch at one tier.
+type Trace struct {
+	// ID is the batch's trace identity, minted by the client (TraceHeader)
+	// or by the first tier that saw the batch.
+	ID string `json:"id"`
+	// Tier is "node" or "router" — the same ID appears once per tier the
+	// batch crossed.
+	Tier       string `json:"tier"`
+	Arch       string `json:"arch,omitempty"`
+	Workload   string `json:"workload,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	StartNS    int64  `json:"start_unix_ns"`
+	DurNS      int64  `json:"dur_ns"`
+	// Err is the batch-level failure, "" on success.
+	Err          string `json:"err,omitempty"`
+	Spans        []Span `json:"spans,omitempty"`
+	DroppedSpans int    `json:"dropped_spans,omitempty"`
+}
+
+// ActiveTrace accumulates spans for one in-flight batch. Span is safe for
+// concurrent workers; Finish seals the trace into the ring. A nil
+// *ActiveTrace discards everything, so tracing disables without branching.
+type ActiveTrace struct {
+	mu    sync.Mutex
+	t     Trace
+	start time.Time
+	ring  *TraceRing
+}
+
+// StartTrace opens a trace destined for ring (nil ring → nil trace, i.e.
+// tracing off).
+func StartTrace(ring *TraceRing, id, tier string) *ActiveTrace {
+	if ring == nil {
+		return nil
+	}
+	now := time.Now()
+	return &ActiveTrace{
+		t:     Trace{ID: id, Tier: tier, StartNS: now.UnixNano()},
+		start: now,
+		ring:  ring,
+	}
+}
+
+// Describe attaches the batch shape (arch, workload, candidate count).
+func (a *ActiveTrace) Describe(arch, workload string, candidates int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Arch, a.t.Workload, a.t.Candidates = arch, workload, candidates
+	a.mu.Unlock()
+}
+
+// Span records one timed stage (see Span). start is the stage's own start
+// time; n aggregates same-stage events (pass 1 for a single event).
+func (a *ActiveTrace) Span(stage string, start time.Time, dur time.Duration, n int, note string) {
+	if a == nil || (n == 0 && dur == 0) {
+		return
+	}
+	a.mu.Lock()
+	if len(a.t.Spans) >= maxSpansPerTrace {
+		a.t.DroppedSpans++
+	} else {
+		a.t.Spans = append(a.t.Spans, Span{
+			Stage: stage, StartNS: start.UnixNano(), DurNS: int64(dur), N: n, Note: note,
+		})
+	}
+	a.mu.Unlock()
+}
+
+// Finish seals the trace with the batch outcome and publishes it to the
+// ring, returning the total batch duration.
+func (a *ActiveTrace) Finish(err error) time.Duration {
+	if a == nil {
+		return 0
+	}
+	dur := time.Since(a.start)
+	a.mu.Lock()
+	a.t.DurNS = int64(dur)
+	if err != nil {
+		a.t.Err = err.Error()
+	}
+	t := a.t
+	a.mu.Unlock()
+	a.ring.Add(t)
+	return dur
+}
+
+// ID returns the trace identity ("" on a nil trace).
+func (a *ActiveTrace) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.t.ID
+}
+
+// TraceRing is a bounded ring of the most recent traces — the GET
+// /v1/traces backing store. A nil ring discards adds and snapshots empty.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	total uint64
+}
+
+// NewTraceRing builds a ring holding the last n traces (n <= 0 → nil:
+// tracing disabled).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		return nil
+	}
+	return &TraceRing{buf: make([]Trace, 0, n)}
+}
+
+// Add appends a sealed trace, evicting the oldest past capacity.
+func (r *TraceRing) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Amend appends a span to the most recently added trace with the given ID —
+// the hook the HTTP layer uses to attach the response-encode span after the
+// batch trace was sealed. A miss (trace already evicted) is a no-op.
+func (r *TraceRing) Amend(id string, s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return
+	}
+	for i := 0; i < len(r.buf); i++ {
+		// Walk newest to oldest (when the ring is not yet full, next is 0
+		// and the newest entry is len-1 ≡ -1 mod len, so the same index
+		// arithmetic covers both regimes).
+		j := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if r.buf[j].ID == id {
+			if len(r.buf[j].Spans) < maxSpansPerTrace {
+				r.buf[j].Spans = append(r.buf[j].Spans, s)
+			} else {
+				r.buf[j].DroppedSpans++
+			}
+			return
+		}
+	}
+}
+
+// Snapshot returns the retained traces, newest first, plus the total number
+// of traces ever recorded (so a reader can tell how many scrolled past).
+func (r *TraceRing) Snapshot() (traces []Trace, total uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	traces = make([]Trace, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		j := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		t := r.buf[j]
+		t.Spans = append([]Span(nil), t.Spans...)
+		traces = append(traces, t)
+	}
+	return traces, r.total
+}
+
+// Find returns the retained traces with the given ID, newest first.
+func (r *TraceRing) Find(id string) []Trace {
+	traces, _ := r.Snapshot()
+	out := traces[:0]
+	for _, t := range traces {
+		if t.ID == id {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -89,6 +90,14 @@ func newResultCache(capacity int, disk *Store) *resultCache {
 // inside Result.Err and are cached like successes, since re-submitting a
 // broken candidate would fail identically.
 func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, error)) (r Result, hit bool, err error) {
+	return c.doTimed(ctx, k, nil, compute)
+}
+
+// doTimed is do with optional stage timing: a non-nil tm accumulates how
+// long this caller spent waiting on another flight (singleflight_wait) and
+// reading the durable layer (disk_hit). nil tm measures nothing — the
+// telemetry-off path takes no clock reads here.
+func (c *resultCache) doTimed(ctx context.Context, k Key, tm *candTimings, compute func() (Result, error)) (r Result, hit bool, err error) {
 	diskChecked := false
 	for {
 		c.mu.Lock()
@@ -99,12 +108,22 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 		}
 		if f, ok := c.inflight[k]; ok {
 			c.mu.Unlock()
+			var w0 time.Time
+			if tm != nil {
+				w0 = time.Now()
+			}
 			select {
 			case <-f.done:
 				// The leader finished (or abandoned): loop to re-check the
 				// map and, if the leader was canceled, take over.
+				if tm != nil {
+					tm.sfWait += time.Since(w0)
+				}
 				continue
 			case <-ctx.Done():
+				if tm != nil {
+					tm.sfWait += time.Since(w0)
+				}
 				c.canceled.Add(1)
 				return Result{}, false, ctx.Err()
 			}
@@ -116,13 +135,22 @@ func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, err
 			// promotes the identical value, which is harmless.
 			c.mu.Unlock()
 			diskChecked = true
-			if r, ok := c.disk.Get(k); ok {
+			var d0 time.Time
+			if tm != nil {
+				d0 = time.Now()
+			}
+			res, ok := c.disk.Get(k)
+			if tm != nil {
+				tm.disk += time.Since(d0)
+				tm.diskHit = ok
+			}
+			if ok {
 				c.mu.Lock()
-				c.store(k, r)
+				c.store(k, res)
 				c.mu.Unlock()
 				c.hits.Add(1)
 				c.diskHits.Add(1)
-				return r, true, nil
+				return res, true, nil
 			}
 			continue
 		}

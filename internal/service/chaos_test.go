@@ -6,7 +6,6 @@ import (
 	"net"
 	"net/http"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/te"
 )
@@ -122,7 +122,7 @@ func TestChaosTuneThroughFaultyFleet(t *testing.T) {
 		trials = 24
 		seed   = 5
 	)
-	baseGoroutines := runtime.NumGoroutine()
+	sentinel := obs.NewGoroutineSentinel()
 
 	prof := hw.Lookup(isa.RISCV)
 	baseOpt := core.ExecutionOptions{
@@ -338,14 +338,8 @@ func TestChaosTuneThroughFaultyFleet(t *testing.T) {
 		}
 	}
 	inner.CloseIdleConnections()
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines+2 {
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d running, started with %d\n%s",
-				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
+	if err := sentinel.WaitSettled(2, 5*time.Second); err != nil {
+		t.Fatal(err)
 	}
 }
 

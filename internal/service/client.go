@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -123,7 +124,29 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return fmt.Errorf("service: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// The batch's trace identity crosses the wire as a header; the server
+	// (or router, which forwards the same ctx to its nodes) records its
+	// spans under it, so one ID joins the timeline at every tier — retries
+	// and reroutes included, since they reuse this ctx.
+	if id := obs.TraceID(ctx); id != "" {
+		httpReq.Header.Set(obs.TraceHeader, id)
+	}
 	return c.roundTrip(httpReq, out)
+}
+
+// MetricsSnapshot implements MetricsBackend over GET /v1/metricsz — the
+// mergeable-snapshot surface a router polls to fold this node's histograms
+// into the fleet view.
+func (c *Client) MetricsSnapshot(ctx context.Context) (*obs.MetricsSnapshot, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metricsz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var snap obs.MetricsSnapshot
+	if err := c.roundTrip(httpReq, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 func (c *Client) roundTrip(req *http.Request, out any) error {
@@ -217,6 +240,40 @@ type ServiceRunner struct {
 	sleep func(context.Context, time.Duration) error
 
 	hits, misses atomic.Uint64
+
+	// Client-side telemetry: attempt/retry/backoff pressure and the
+	// latency of every Simulate attempt (failed ones included). Recorded
+	// unconditionally — one histogram Observe per HTTP round trip is noise
+	// next to the round trip itself.
+	attempts    atomic.Uint64
+	retried     atomic.Uint64
+	backoffNS   atomic.Int64
+	attemptHist obs.Histogram
+}
+
+// ClientTelemetry is a ServiceRunner's client-side view of its service
+// traffic: how many Simulate attempts it made, how many were retries of a
+// failed batch, how long it spent backing off, and the attempt latency as a
+// mergeable histogram snapshot (quantiles via Snapshot.Quantile).
+type ClientTelemetry struct {
+	// Attempts counts every Simulate call; Retries counts the re-submissions
+	// among them (Attempts - Retries = batches on their first try).
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// BackoffTotal is the cumulative time spent sleeping between attempts.
+	BackoffTotal time.Duration `json:"backoff_total_ns"`
+	// AttemptLatency is the per-attempt round-trip latency histogram.
+	AttemptLatency obs.Snapshot `json:"attempt_latency"`
+}
+
+// Telemetry snapshots the runner's client-side telemetry.
+func (r *ServiceRunner) Telemetry() ClientTelemetry {
+	return ClientTelemetry{
+		Attempts:       r.attempts.Load(),
+		Retries:        r.retried.Load(),
+		BackoffTotal:   time.Duration(r.backoffNS.Load()),
+		AttemptLatency: r.attemptHist.Snapshot(),
+	}
 }
 
 // Name implements runner.Runner.
@@ -249,6 +306,10 @@ func (r *ServiceRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildR
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Mint the batch's trace identity here, at the outermost client tier —
+	// every retry and every reroute hop downstream reuses it, which is what
+	// makes one tuner batch one joinable timeline across the fleet.
+	ctx, _ = obs.EnsureTrace(ctx)
 	out := make([]runner.MeasureResult, len(inputs))
 	req := &SimulateRequest{
 		Arch:       string(r.Arch),
@@ -324,11 +385,19 @@ func (r *ServiceRunner) simulateWithRetry(ctx context.Context, req *SimulateRequ
 		cap = base
 	}
 	for attempt := 0; ; attempt++ {
+		r.attempts.Add(1)
+		if attempt > 0 {
+			r.retried.Add(1)
+		}
+		a0 := time.Now()
 		resp, err := r.Backend.Simulate(ctx, req)
+		r.attemptHist.Observe(time.Since(a0))
 		if err == nil || attempt >= retries || !IsRetryable(err) || ctx.Err() != nil {
 			return resp, err
 		}
-		if serr := r.pause(ctx, retryDelay(base, cap, attempt, retryAfterOf(err))); serr != nil {
+		d := retryDelay(base, cap, attempt, retryAfterOf(err))
+		r.backoffNS.Add(int64(d))
+		if serr := r.pause(ctx, d); serr != nil {
 			return nil, serr
 		}
 	}

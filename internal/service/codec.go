@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 )
@@ -143,6 +144,42 @@ type Statusz struct {
 	// Rerouted counts sub-batches a router re-sent to a ring successor
 	// after their owner failed (routing tier only).
 	Rerouted uint64 `json:"rerouted,omitempty"`
+	// Stages summarizes the telemetry histograms (one row per metric series:
+	// per-stage, per-arch, per-outcome latency quantiles). Empty when the
+	// tier runs with telemetry disabled. The full mergeable histograms are on
+	// /v1/metricsz and the Prometheus rendering on /v1/metrics; statusz
+	// carries only the human-readable quantile summary.
+	Stages []StageLatency `json:"stages,omitempty"`
+	// StoreLiveBytes/StoreTotalBytes report the durable store's segment
+	// footprint (live = still-referenced record bytes, total = bytes on
+	// disk including garbage awaiting compaction). Zero without -cache-dir.
+	StoreLiveBytes  int64 `json:"store_live_bytes,omitempty"`
+	StoreTotalBytes int64 `json:"store_total_bytes,omitempty"`
+}
+
+// StageLatency is one telemetry histogram series summarized as quantiles —
+// the statusz-friendly projection of the mergeable histogram that backs it.
+// Quantiles are exact to within a factor of two (power-of-two buckets, max
+// tracked exactly); Count is the number of observations.
+type StageLatency struct {
+	// Metric is the Prometheus family name (e.g. simtune_stage_duration_seconds).
+	Metric string `json:"metric"`
+	// Labels is the rendered label set (e.g. `stage="simulate",arch="x86"`).
+	Labels string `json:"labels,omitempty"`
+	Count  uint64 `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// TracesResponse is the GET /v1/traces body: the tier's retained batch
+// traces, newest first. Total counts every trace ever recorded, so a reader
+// can tell how many scrolled out of the bounded ring.
+type TracesResponse struct {
+	Total  uint64      `json:"total"`
+	Traces []obs.Trace `json:"traces"`
 }
 
 // HitRate returns the cache hit fraction over everything served so far.

@@ -151,6 +151,42 @@ func TestRetryAfterTravelsTheWire(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "1" {
 		t.Fatalf("Retry-After header %q, want %q (250ms rounded up)", got, "1")
 	}
+
+	// Router hop: the hint must survive node → router → client with the same
+	// split — exact milliseconds in the body, whole-second ceiling in the
+	// router's own Retry-After header (a "0" header would tell clients to
+	// hammer a saturated fleet immediately).
+	rt, err := NewRouterBackends([]string{"node-a"}, []Backend{NewClient(hs.URL)},
+		RouterConfig{ProbeInterval: -1, DisableHandoff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rs := httptest.NewServer(rt.Handler())
+	defer rs.Close()
+
+	_, err = NewClient(rs.URL).Simulate(context.Background(), &SimulateRequest{
+		Arch: "riscv", Workload: ConvGroupSpec("tiny", 1),
+		Candidates: tinyCandidates(t, 1, 2),
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("client saw %v through the router, want ErrOverloaded", err)
+	}
+	if !errors.As(err, &se) || se.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("sub-second RetryAfter did not survive the router hop: %+v", se)
+	}
+	resp, err = http.Post(rs.URL+"/v1/simulate", "application/json",
+		strings.NewReader(`{"arch":"riscv","workload":{"kind":"conv_group","scale":"tiny","group":1},"candidates":[{"steps":[]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("router status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("router Retry-After header %q, want %q (250ms rounded up)", got, "1")
+	}
 }
 
 // TestRouterShedsOverloadedNode: a 429 from one node must re-route the

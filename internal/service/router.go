@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // RouterConfig sizes a Router.
@@ -40,6 +41,18 @@ type RouterConfig struct {
 	// HandoffTimeout bounds one node's whole rejoin replay (default 2m —
 	// generous, since a replay moves cached results, never simulations).
 	HandoffTimeout time.Duration
+	// DisableTelemetry turns off the router-tier obs layer (histograms,
+	// traces). Node-side telemetry is each node's own setting.
+	DisableTelemetry bool
+	// TraceRingSize bounds the router's recent-trace ring behind GET
+	// /v1/traces (default 256; negative disables tracing, keeps metrics).
+	TraceRingSize int
+	// SlowBatchThreshold, when positive, logs one structured line per batch
+	// slower than it at the routing tier (same format as the node's).
+	SlowBatchThreshold time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the router's
+	// handler.
+	EnablePprof bool
 }
 
 func (c *RouterConfig) defaults() {
@@ -51,6 +64,9 @@ func (c *RouterConfig) defaults() {
 	}
 	if c.HandoffTimeout <= 0 {
 		c.HandoffTimeout = 2 * time.Minute
+	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = 256
 	}
 }
 
@@ -83,6 +99,15 @@ type Router struct {
 	// router-side view of the same transfers.
 	handoffKeys atomic.Uint64
 
+	// tel is the routing-tier instrument panel (nil when disabled):
+	// per-outcome batch histograms, per-node dispatch histograms, and the
+	// router's own trace ring. Telemetry here is per-batch/per-sub-batch
+	// only — the router does no per-candidate timing.
+	tel      *telemetry
+	rtBatch  map[string]*obs.Histogram // outcome → batch duration
+	rtSplit  *obs.Histogram
+	rtReroute *obs.Histogram
+
 	stopProbe context.CancelFunc
 	probeWG   sync.WaitGroup
 }
@@ -91,6 +116,9 @@ type Router struct {
 type routerNode struct {
 	id      string
 	backend Backend
+	// dispatch records this node's sub-batch round-trip latency as seen from
+	// the router (nil when router telemetry is off).
+	dispatch *obs.Histogram
 
 	up atomic.Bool
 	// handingOff guards the rejoin replay: at most one warm handoff runs
@@ -160,10 +188,22 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 		ring:  newRing(ids, cfg.Replicas),
 		nodes: make([]*routerNode, len(ids)),
 		start: time.Now(),
+		tel:   newTelemetry(cfg.DisableTelemetry, cfg.TraceRingSize, cfg.SlowBatchThreshold, nil),
+	}
+	if rt.tel != nil {
+		rt.rtBatch = make(map[string]*obs.Histogram)
+		for _, o := range []string{"ok", "canceled", "error", "overloaded", "unserved", "undeliverable"} {
+			rt.rtBatch[o] = rt.tel.m.Histogram(metricRtBatch, obs.Labels("outcome", o))
+		}
+		rt.rtSplit = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageSplit))
+		rt.rtReroute = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageReroute))
 	}
 	for i := range ids {
 		rt.nodes[i] = &routerNode{id: ids[i], backend: backends[i]}
 		rt.nodes[i].up.Store(true)
+		if rt.tel != nil {
+			rt.nodes[i].dispatch = rt.tel.m.Histogram(metricRtDisp, obs.Labels("node", ids[i]))
+		}
 	}
 	if cfg.ProbeInterval > 0 {
 		probeCtx, cancel := context.WithCancel(context.Background())
@@ -380,14 +420,38 @@ func (rt *Router) handoffSweep(ctx context.Context, idx int, target HandoffBacke
 // the failed sub-batch to each key's ring successors; request defects (4xx)
 // and the caller's own cancellation fail the batch immediately.
 func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	// Telemetry opens first: the trace ID the client minted (or one minted
+	// here) is in ctx before any node call, so every dispatch — including
+	// reroute hops — carries the same X-Simtune-Trace identity downstream.
+	var batchStart time.Time
+	var tr *obs.ActiveTrace
+	if rt.tel != nil {
+		batchStart = time.Now()
+		ctx, tr = rt.tel.startTrace(ctx, "router")
+		tr.Describe(req.Arch, req.Workload.signature(), len(req.Candidates))
+	}
+	finish := func(outcome string, err error) {
+		if rt.tel == nil {
+			return
+		}
+		dur := time.Since(batchStart)
+		tr.Finish(err)
+		rt.rtBatch[outcome].Observe(dur)
+		rt.tel.slowBatchLog(tr, dur, "router", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+	}
+
 	// Validate up front so malformed requests are rejected at the routing
 	// tier — they must never count as node faults or trigger failover.
 	arch, err := isa.ParseArch(req.Arch)
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+		err = fmt.Errorf("service: %w", badRequestf("%v", err))
+		finish("error", err)
+		return nil, err
 	}
 	if _, err := req.Workload.Factory(); err != nil {
-		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+		err = fmt.Errorf("service: %w", badRequestf("%v", err))
+		finish("error", err)
+		return nil, err
 	}
 	rt.requests.Add(1)
 	rt.candidates.Add(uint64(len(req.Candidates)))
@@ -397,12 +461,21 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	// Keys are kept for failover; the successor walk itself is deferred to
 	// the (rare) rounds where a key's owner is down, keeping the
 	// all-nodes-up hot path to one hash and one ring lookup per candidate.
+	var sp0 time.Time
+	if rt.tel != nil {
+		sp0 = time.Now()
+	}
 	caches := hw.Lookup(arch).Caches
 	keys := make([]Key, len(req.Candidates))
 	remaining := make([]int, len(req.Candidates))
 	for i, c := range req.Candidates {
 		keys[i] = CacheKey(arch, caches, req.Workload, c.Steps)
 		remaining[i] = i
+	}
+	if rt.tel != nil {
+		spDur := time.Since(sp0)
+		rt.rtSplit.Observe(spDur)
+		tr.Span(stageSplit, sp0, spDur, len(req.Candidates), "")
 	}
 
 	results := make([]Result, len(req.Candidates))
@@ -425,8 +498,10 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	}
 	for attempt := 0; len(remaining) > 0; attempt++ {
 		if attempt > len(rt.nodes) {
-			return nil, fmt.Errorf("service: %w",
+			err := fmt.Errorf("service: %w",
 				unavailablef("batch undeliverable after %d failover rounds", attempt))
+			finish("undeliverable", err)
+			return nil, err
 		}
 		groups := make(map[int][]int)
 		for _, i := range remaining {
@@ -436,15 +511,19 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 					// Every live node is saturated: propagate the 429 (with
 					// its Retry-After) so the client backs off and retries —
 					// the fleet is healthy, just full.
+					finish("overloaded", overloadErr)
 					return nil, overloadErr
 				}
 				if unservedErr != nil {
 					// Every live node declined the arch: the fleet's config,
 					// not its health, fails this batch — report the stable
 					// 501 so clients do not spin on retries.
+					finish("unserved", unservedErr)
 					return nil, unservedErr
 				}
-				return nil, fmt.Errorf("service: %w", unavailablef("no live nodes (of %d)", len(rt.nodes)))
+				err := fmt.Errorf("service: %w", unavailablef("no live nodes (of %d)", len(rt.nodes)))
+				finish("undeliverable", err)
+				return nil, err
 			}
 			groups[n] = append(groups[n], i)
 		}
@@ -454,6 +533,8 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 			idx  []int
 			resp *SimulateResponse
 			err  error
+			t0   time.Time
+			dur  time.Duration
 		}
 		ch := make(chan outcome, len(groups))
 		for n, idx := range groups {
@@ -463,15 +544,34 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 				for j, i := range idx {
 					sub.Candidates[j] = req.Candidates[i]
 				}
+				var t0 time.Time
+				if rt.tel != nil {
+					t0 = time.Now()
+				}
 				resp, err := rt.nodes[n].backend.Simulate(ctx, sub)
+				var dur time.Duration
+				if rt.tel != nil {
+					dur = time.Since(t0)
+					rt.nodes[n].dispatch.Observe(dur)
+					tr.Span(stageDispatch, t0, dur, len(idx), rt.nodes[n].id)
+				}
 				if err == nil && len(resp.Results) != len(idx) {
 					err = fmt.Errorf("service: node %s returned %d results for %d candidates",
 						rt.nodes[n].id, len(resp.Results), len(idx))
 				}
-				ch <- outcome{node: n, idx: idx, resp: resp, err: err}
+				ch <- outcome{node: n, idx: idx, resp: resp, err: err, t0: t0, dur: dur}
 			}(n, idx)
 		}
 
+		reroute := func(o outcome) {
+			rt.rerouted.Add(1)
+			if rt.tel != nil {
+				// The reroute span carries the failed dispatch's cost — the
+				// latency this batch paid before its keys moved on.
+				rt.rtReroute.Observe(o.dur)
+				tr.Span(stageReroute, o.t0, o.dur, len(o.idx), rt.nodes[o.node].id)
+			}
+		}
 		var retry []int
 		var batchErr error
 		for range groups {
@@ -492,7 +592,7 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 				// serve this arch: route around it for this batch only.
 				excluded[o.node] = true
 				unservedErr = o.err
-				rt.rerouted.Add(1)
+				reroute(o)
 				retry = append(retry, o.idx...)
 			case isOverloaded(o.err):
 				// The node's admission gate is full — a load fact, not a
@@ -501,7 +601,7 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 				// Retry-After) propagates so the client paces itself.
 				excluded[o.node] = true
 				overloadErr = o.err
-				rt.rerouted.Add(1)
+				reroute(o)
 				retry = append(retry, o.idx...)
 			case !IsRetryable(o.err):
 				// The node proved the request itself defective — not the
@@ -512,15 +612,21 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 			default:
 				// Node fault: out of rotation, keys drain to ring successors.
 				rt.nodes[o.node].markDown(o.err)
-				rt.rerouted.Add(1)
+				reroute(o)
 				retry = append(retry, o.idx...)
 			}
 		}
 		if batchErr != nil {
+			if ctx.Err() != nil {
+				finish("canceled", batchErr)
+			} else {
+				finish("error", batchErr)
+			}
 			return nil, batchErr
 		}
 		remaining = retry
 	}
+	finish("ok", nil)
 	return &SimulateResponse{Results: results}, nil
 }
 
@@ -587,11 +693,57 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 	for _, arch := range shardOrder {
 		agg.Shards = append(agg.Shards, *shardByArch[arch])
 	}
+	// Stages on a router statusz summarizes the routing tier's own
+	// histograms (split, dispatch, reroute, per-outcome batches). The exact
+	// fleet-wide merge — node histograms folded bucket-wise — lives on
+	// /v1/metrics; quantiles cannot be merged after summarization, so they
+	// are never summed here.
+	agg.Stages = stageLatencies(rt.tel.histSnapshot())
 	return agg, nil
 }
 
+// MetricsSnapshot implements MetricsBackend at the routing tier: the
+// router's own series merged with every reachable node's snapshot. The
+// histograms merge bucket-wise (obs.Snapshot.Merge), so a quantile rendered
+// from the result is the quantile of the combined fleet sample — exact,
+// where averaging per-node p99s would be wrong by up to the fleet's spread.
+// Unreachable nodes and nodes without a telemetry surface are skipped, like
+// Statusz skips their counters.
+func (rt *Router) MetricsSnapshot(ctx context.Context) (*obs.MetricsSnapshot, error) {
+	snap := &obs.MetricsSnapshot{Hists: rt.tel.histSnapshot()}
+	counter := func(name string, v uint64) {
+		snap.Counters = append(snap.Counters, obs.ScalarMetric{Name: name, Value: float64(v)})
+	}
+	counter("simtune_router_requests_total", rt.requests.Load())
+	counter("simtune_router_candidates_total", rt.candidates.Load())
+	counter("simtune_router_rerouted_total", rt.rerouted.Load())
+	counter("simtune_router_handoff_keys_total", rt.handoffKeys.Load())
+	snap.Gauges = append(snap.Gauges, obs.RuntimeGauges()...)
+
+	polled := make([]*obs.MetricsSnapshot, len(rt.nodes))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		mb, ok := n.backend.(MetricsBackend)
+		if !ok || !n.up.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, mb MetricsBackend) {
+			defer wg.Done()
+			if s, err := mb.MetricsSnapshot(ctx); err == nil {
+				polled[i] = s
+			}
+		}(i, mb)
+	}
+	wg.Wait()
+	for _, s := range polled {
+		snap.Merge(s)
+	}
+	return snap, nil
+}
+
 // Handler exposes the router over the same wire protocol as a leaf server.
-func (rt *Router) Handler() http.Handler { return backendHandler(rt) }
+func (rt *Router) Handler() http.Handler { return backendHandler(rt, rt.tel, rt.cfg.EnablePprof) }
 
 // ListenAndServe runs the router's HTTP surface until ctx is cancelled (see
 // Server.ListenAndServe), then stops the health probe. The router holds no

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -34,6 +36,7 @@ type Server struct {
 	disk   *Store // nil without CacheDir; also reachable as cache.disk
 	start  time.Time
 	admit  admission
+	tel    *telemetry // nil when Config.DisableTelemetry
 
 	requests   atomic.Uint64
 	candidates atomic.Uint64
@@ -61,11 +64,13 @@ type Server struct {
 // store-related (unwritable directory, unopenable segments).
 func NewServer(cfg Config) (*Server, error) {
 	cfg.defaults()
+	tel := newTelemetry(cfg.DisableTelemetry, cfg.TraceRingSize, cfg.SlowBatchThreshold, cfg.Archs)
 	var disk *Store
 	if cfg.CacheDir != "" {
 		var err error
 		disk, err = OpenStore(cfg.CacheDir, StoreOptions{
 			MaxSegmentBytes: cfg.CacheSegmentBytes, WrapFile: cfg.StoreWrapFile,
+			WriteHist: tel.storeWriteHist(),
 		})
 		if err != nil {
 			return nil, err
@@ -78,6 +83,7 @@ func NewServer(cfg Config) (*Server, error) {
 		disk:   disk,
 		start:  time.Now(),
 		admit:  admission{max: int64(cfg.MaxQueuedCandidates)},
+		tel:    tel,
 	}
 	for _, arch := range cfg.Archs {
 		s.shards[arch] = newShard(hw.Lookup(arch), cfg.WorkersPerArch)
@@ -179,9 +185,21 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 	s.drainMu.RUnlock()
 	defer s.inflight.Done()
 
+	// Telemetry opens before validation so even malformed batches leave a
+	// trace (tier "node", the context's trace ID or a freshly minted one).
+	var batchStart time.Time
+	var tr *obs.ActiveTrace
+	if s.tel != nil {
+		batchStart = time.Now()
+		ctx, tr = s.tel.startTrace(ctx, "node")
+		tr.Describe(req.Arch, req.Workload.signature(), len(req.Candidates))
+	}
+
 	arch, err := isa.ParseArch(req.Arch)
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+		err = fmt.Errorf("service: %w", badRequestf("%v", err))
+		s.tel.finishBatch(tr, nil, nil, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+		return nil, err
 	}
 	sh, ok := s.shards[arch]
 	if !ok {
@@ -189,25 +207,55 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		// deployment fact, not a request defect and not a node fault — a
 		// router tries a differently-configured replica without taking this
 		// node out of rotation.
-		return nil, fmt.Errorf("service: %w",
+		err := fmt.Errorf("service: %w",
 			unservedf("arch %s not served (configured: %v)", arch, s.cfg.Archs))
+		s.tel.finishBatch(tr, nil, nil, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+		return nil, err
 	}
+	at := s.tel.forArch(arch)
 	factory, err := req.Workload.Factory()
 	if err != nil {
-		return nil, fmt.Errorf("service: %w", badRequestf("%v", err))
+		err = fmt.Errorf("service: %w", badRequestf("%v", err))
+		if at != nil {
+			s.tel.finishBatch(tr, nil, at.batchError, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+		}
+		return nil, err
 	}
 	// Admission: the request is well-formed but the node is full — refuse
 	// rather than queue without bound. Rejected candidates are never
 	// "accepted", so they are counted in their own ledger and the
 	// hits+misses+canceled == candidates invariant is untouched.
+	var adm0 time.Time
+	if s.tel != nil {
+		adm0 = time.Now()
+	}
 	if !s.admit.tryAcquire(len(req.Candidates)) {
 		s.rejected.Add(uint64(len(req.Candidates)))
-		return nil, fmt.Errorf("service: %w", overloadedf(s.cfg.RetryAfterHint,
+		err := fmt.Errorf("service: %w", overloadedf(s.cfg.RetryAfterHint,
 			"overloaded: %d candidates admitted (max %d)", s.admit.cur.Load(), s.cfg.MaxQueuedCandidates))
+		if at != nil {
+			s.tel.finishBatch(tr, nil, at.batchRejected, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+		}
+		return nil, err
+	}
+	if at != nil {
+		admDur := time.Since(adm0)
+		at.admission.Observe(admDur)
+		tr.Span(stageAdmission, adm0, admDur, 1, "")
 	}
 	defer s.admit.release(len(req.Candidates))
 	s.requests.Add(1)
 	s.candidates.Add(uint64(len(req.Candidates)))
+
+	// Per-candidate timing state: one slice allocation per batch, nil slots
+	// when telemetry is off (candTimings pointers then disable every
+	// measurement point down the doTimed/exec path).
+	var tms []candTimings
+	var agg *batchAgg
+	if at != nil {
+		tms = make([]candTimings, len(req.Candidates))
+		agg = &batchAgg{}
+	}
 
 	results := make([]Result, len(req.Candidates))
 	var mu sync.Mutex
@@ -217,9 +265,18 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		dispatched.Add(1)
 		steps := req.Candidates[i].Steps
 		key := CacheKey(arch, sh.prof.Caches, req.Workload, steps)
-		r, hit, err := s.cache.do(ctx, key, func() (Result, error) {
-			return sh.exec(ctx, factory, steps)
+		var tm *candTimings
+		var c0 time.Time
+		if at != nil {
+			tm = &tms[i]
+			c0 = time.Now()
+		}
+		r, hit, err := s.cache.doTimed(ctx, key, tm, func() (Result, error) {
+			return sh.exec(ctx, factory, steps, tm)
 		})
+		if at != nil {
+			at.record(agg, tm, time.Since(c0), hit, err)
+		}
 		if err != nil {
 			// Only cancellation reaches here (deterministic failures travel
 			// inside Result.Err). If ctx died after ParallelCtx dispatched
@@ -242,7 +299,14 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		// cache could see them; charge them to the canceled counter so
 		// hits+misses+canceled still reconciles with candidates accepted.
 		s.cache.canceled.Add(uint64(len(req.Candidates)) - dispatched.Load())
-		return nil, fmt.Errorf("service: %w", unavailablef("batch canceled: %v", perr))
+		err := fmt.Errorf("service: %w", unavailablef("batch canceled: %v", perr))
+		if at != nil {
+			s.tel.finishBatch(tr, agg, at.batchCanceled, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
+		}
+		return nil, err
+	}
+	if at != nil {
+		s.tel.finishBatch(tr, agg, at.batchOK, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), nil)
 	}
 	return &SimulateResponse{Results: results}, nil
 }
@@ -264,11 +328,54 @@ func (s *Server) Statusz(context.Context) (*Statusz, error) {
 	}
 	if s.disk != nil {
 		st.CacheDiskEntries = s.disk.Len()
+		st.StoreLiveBytes, st.StoreTotalBytes = s.disk.Bytes()
 	}
 	for _, arch := range s.cfg.Archs {
 		st.Shards = append(st.Shards, s.shards[arch].status())
 	}
+	st.Stages = stageLatencies(s.tel.histSnapshot())
 	return st, nil
+}
+
+// MetricsSnapshot implements MetricsBackend: every telemetry histogram plus
+// the server's counters and gauges as one mergeable snapshot — the
+// /v1/metricsz body a router folds into its fleet view. The counters mirror
+// statusz (they are the same atomics); the histograms exist only here and
+// on /v1/metrics. Works with telemetry disabled too (counters and gauges
+// only).
+func (s *Server) MetricsSnapshot(context.Context) (*obs.MetricsSnapshot, error) {
+	snap := &obs.MetricsSnapshot{Hists: s.tel.histSnapshot()}
+	counter := func(name, labels string, v uint64) {
+		snap.Counters = append(snap.Counters, obs.ScalarMetric{Name: name, Labels: labels, Value: float64(v)})
+	}
+	gauge := func(name, labels string, v float64) {
+		snap.Gauges = append(snap.Gauges, obs.ScalarMetric{Name: name, Labels: labels, Value: v})
+	}
+	counter("simtune_requests_total", "", s.requests.Load())
+	counter("simtune_candidates_total", "", s.candidates.Load())
+	counter("simtune_rejected_candidates_total", "", s.rejected.Load())
+	counter("simtune_cache_hits_total", "", s.cache.hits.Load())
+	counter("simtune_cache_misses_total", "", s.cache.misses.Load())
+	counter("simtune_cache_canceled_total", "", s.cache.canceled.Load())
+	counter("simtune_cache_disk_hits_total", "", s.cache.diskHits.Load())
+	counter("simtune_handoff_keys_total", "", s.cache.handoffKeys.Load())
+	gauge("simtune_admitted_candidates", "", float64(s.admit.cur.Load()))
+	gauge("simtune_cache_entries", "", float64(s.cache.len()))
+	for _, arch := range s.cfg.Archs {
+		sh := s.shards[arch]
+		l := obs.Labels("arch", string(arch))
+		counter("simtune_simulated_total", l, sh.simulated.Load())
+		gauge("simtune_queue_depth", l, float64(sh.queued.Load()))
+		gauge("simtune_running", l, float64(sh.running.Load()))
+	}
+	if s.disk != nil {
+		live, total := s.disk.Bytes()
+		gauge("simtune_cache_disk_entries", "", float64(s.disk.Len()))
+		gauge("simtune_store_live_bytes", "", float64(live))
+		gauge("simtune_store_total_bytes", "", float64(total))
+	}
+	snap.Gauges = append(snap.Gauges, obs.RuntimeGauges()...)
+	return snap, nil
 }
 
 // Keys implements HandoffBackend over the result cache (RAM plus durable
@@ -291,10 +398,13 @@ func (s *Server) Ingest(_ context.Context, entries []Entry) (int, error) {
 //
 //	POST /v1/simulate — SimulateRequest in, SimulateResponse out
 //	GET  /v1/statusz  — Statusz out
+//	GET  /v1/metrics  — Prometheus text exposition
+//	GET  /v1/metricsz — mergeable obs.MetricsSnapshot (JSON)
+//	GET  /v1/traces   — recent batch traces (when tracing is on)
 //
 // Requests run under the HTTP request context, so a disconnecting client
 // aborts its own batch's undispatched work.
-func (s *Server) Handler() http.Handler { return backendHandler(s) }
+func (s *Server) Handler() http.Handler { return backendHandler(s, s.tel, s.cfg.EnablePprof) }
 
 // backendHandler exposes any Backend over the wire protocol — the one
 // handler serves both a leaf *Server and a *Router, which is what keeps the
@@ -302,7 +412,11 @@ func (s *Server) Handler() http.Handler { return backendHandler(s) }
 // classification as their status: 4xx for request defects, 5xx for server
 // faults and cancellation, so routers and dashboards can tell "this batch
 // can never succeed" from "retry elsewhere".
-func backendHandler(b Backend) http.Handler {
+//
+// tel (nil when the tier runs without telemetry) supplies the trace ring
+// behind /v1/traces and the encode-stage histogram; enablePprof mounts
+// net/http/pprof under /debug/pprof/.
+func backendHandler(b Backend, tel *telemetry, enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -315,9 +429,32 @@ func backendHandler(b Backend) http.Handler {
 			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
 			return
 		}
-		resp, err := b.Simulate(r.Context(), &req)
+		// The trace ID travels as a header across the wire and as a context
+		// value inside the process; echoing it on the response lets callers
+		// join their batch to this tier's /v1/traces without re-parsing logs.
+		ctx := r.Context()
+		if id := r.Header.Get(obs.TraceHeader); id != "" {
+			ctx = obs.WithTrace(ctx, id)
+			w.Header().Set(obs.TraceHeader, id)
+		}
+		resp, err := b.Simulate(ctx, &req)
 		if err != nil {
 			writeError(w, err)
+			return
+		}
+		if tel != nil {
+			e0 := time.Now()
+			writeJSON(w, resp)
+			ed := time.Since(e0)
+			tel.encode.Observe(ed)
+			// The batch trace sealed inside Simulate; attach the encode span
+			// after the fact. Only wire-identified batches can be amended —
+			// a server-minted ID never escapes Simulate's context.
+			if id := obs.TraceID(ctx); id != "" {
+				tel.traces.Amend(id, obs.Span{
+					Stage: stageEncode, StartNS: e0.UnixNano(), DurNS: int64(ed), N: 1,
+				})
+			}
 			return
 		}
 		writeJSON(w, resp)
@@ -334,10 +471,61 @@ func backendHandler(b Backend) http.Handler {
 		}
 		writeJSON(w, st)
 	})
+	if mb, ok := b.(MetricsBackend); ok {
+		registerMetricsRoutes(mux, mb)
+	}
+	if tel != nil && tel.traces != nil {
+		mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				httpError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			traces, total := tel.traces.Snapshot()
+			writeJSON(w, &TracesResponse{Total: total, Traces: traces})
+		})
+	}
 	if hb, ok := b.(HandoffBackend); ok {
 		registerHandoffRoutes(mux, hb)
 	}
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// registerMetricsRoutes exposes the telemetry snapshot twice: rendered for a
+// Prometheus scraper (/v1/metrics) and as the raw mergeable JSON a router
+// folds into its fleet view (/v1/metricsz).
+func registerMetricsRoutes(mux *http.ServeMux, mb MetricsBackend) {
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		snap, err := mb.MetricsSnapshot(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/v1/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		snap, err := mb.MetricsSnapshot(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, snap)
+	})
 }
 
 // registerHandoffRoutes exposes the replication triple. Only backends that

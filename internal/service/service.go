@@ -25,6 +25,13 @@
 //
 //	POST /v1/simulate  — batched candidates in, per-candidate stats out
 //	GET  /v1/statusz   — queue, cache and worker metrics
+//	GET  /v1/metrics   — Prometheus text exposition: per-stage latency
+//	                     histograms, counters, gauges; a router serves the
+//	                     exact bucket-merge across its reachable nodes
+//	GET  /v1/metricsz  — the same telemetry as a mergeable JSON snapshot
+//	                     (what routers merge; see obs.MetricsSnapshot)
+//	GET  /v1/traces    — recent batch traces, newest first (bounded ring);
+//	                     batches carry an X-Simtune-Trace ID end to end
 //	GET  /v1/keys      — cache-key inventory (optionally ?range=lo-hi over
 //	                     ring positions); leaf servers only
 //	POST /v1/fetch     — bulk-read stored results by key; leaf servers only
@@ -78,6 +85,7 @@ import (
 	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/te"
 )
@@ -97,6 +105,17 @@ type Backend interface {
 	Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error)
 	// Statusz reports server metrics.
 	Statusz(ctx context.Context) (*Statusz, error)
+}
+
+// MetricsBackend is the optional telemetry surface of a Backend: a
+// mergeable snapshot of its histograms, counters and gauges. *Server
+// implements it natively, *Client forwards it over GET /v1/metricsz, and
+// *Router implements it by merging the snapshots of every reachable node
+// with its own routing-tier series — histogram buckets add element-wise, so
+// the fleet p99 a router reports is the p99 of the combined sample, exact
+// rather than an average of per-node quantiles.
+type MetricsBackend interface {
+	MetricsSnapshot(ctx context.Context) (*obs.MetricsSnapshot, error)
 }
 
 // HandoffBackend is the optional replication surface of a Backend: the
@@ -270,6 +289,23 @@ type Config struct {
 	// shutdown: how long in-flight batches may finish after SIGINT/SIGTERM
 	// before they are hard-canceled (default 30s).
 	DrainTimeout time.Duration
+	// DisableTelemetry turns off the obs layer wholesale: no histograms,
+	// no traces, no /v1/metrics series beyond what statusz already counts.
+	// The request path then records nothing — this is the A/B seam the
+	// telemetry-overhead benchmark flips, not a production setting.
+	DisableTelemetry bool
+	// TraceRingSize bounds the in-memory ring of recent batch traces
+	// behind GET /v1/traces (default 256; negative disables tracing while
+	// keeping metrics).
+	TraceRingSize int
+	// SlowBatchThreshold, when positive, logs one structured line for
+	// every batch slower than it — trace ID included, so the line joins
+	// against /v1/traces. Zero disables slow-batch logging.
+	SlowBatchThreshold time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on this
+	// server's handler. Off by default: profiling endpoints on a
+	// production port are an operator decision.
+	EnablePprof bool
 }
 
 func (c *Config) defaults() {
@@ -290,6 +326,9 @@ func (c *Config) defaults() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.TraceRingSize == 0 {
+		c.TraceRingSize = 256
 	}
 }
 

@@ -12,6 +12,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // The durable result store: an append-only segment log of
@@ -73,6 +76,11 @@ type StoreOptions struct {
 	// WrapFile, when set, wraps every segment file handle the store opens.
 	// Fault-injection hook; nil means use the file as-is.
 	WrapFile func(*os.File) StoreFile
+	// WriteHist, when non-nil, records the latency of every write-behind
+	// append (encode + frame + disk write) — the store_write telemetry
+	// stage. The appends run on the writer goroutine, so this measures the
+	// durability lag, not anything on the serve path.
+	WriteHist *obs.Histogram
 }
 
 // recordRef locates one live record: segment id, payload offset, payload
@@ -97,10 +105,11 @@ type storeOp struct {
 // needs no locking; mu guards the maps (index, pending, readers) that the
 // concurrent read paths share with it.
 type Store struct {
-	dir    string
-	maxSeg int64
-	logf   func(format string, args ...any)
-	wrap   func(*os.File) StoreFile
+	dir       string
+	maxSeg    int64
+	logf      func(format string, args ...any)
+	wrap      func(*os.File) StoreFile
+	writeHist *obs.Histogram // nil: append latency not recorded
 
 	mu         sync.Mutex
 	index      map[Key]recordRef
@@ -150,14 +159,15 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		return nil, fmt.Errorf("service: store: %w", err)
 	}
 	s := &Store{
-		dir:     dir,
-		maxSeg:  opts.MaxSegmentBytes,
-		logf:    opts.Logf,
-		wrap:    opts.WrapFile,
-		index:   make(map[Key]recordRef),
-		pending: make(map[Key]Result),
-		readers: make(map[int]StoreFile),
-		queue:   make(chan storeOp, 1024),
+		dir:       dir,
+		maxSeg:    opts.MaxSegmentBytes,
+		logf:      opts.Logf,
+		wrap:      opts.WrapFile,
+		writeHist: opts.WriteHist,
+		index:     make(map[Key]recordRef),
+		pending:   make(map[Key]Result),
+		readers:   make(map[int]StoreFile),
+		queue:     make(chan storeOp, 1024),
 	}
 	ids, err := s.segmentIDs()
 	if err != nil {
@@ -378,6 +388,15 @@ func (s *Store) Len() int {
 	return len(s.index) + len(s.pending)
 }
 
+// Bytes reports the segment footprint: live is the record bytes the index
+// still references, total is everything on disk including dead records
+// (superseded duplicates, skipped tails) awaiting compaction.
+func (s *Store) Bytes() (live, total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes, s.totalBytes
+}
+
 // Keys lists the stored keys whose ring position falls in [lo, hi]
 // (wrapping when lo > hi, so a ring arc that crosses zero is one range).
 func (s *Store) Keys(lo, hi uint64) []Key {
@@ -458,7 +477,15 @@ func (s *Store) writer() {
 			op.compact <- s.compact()
 			continue
 		}
-		if err := s.append(op.key, op.res); err != nil {
+		var a0 time.Time
+		if s.writeHist != nil {
+			a0 = time.Now()
+		}
+		err := s.append(op.key, op.res)
+		if s.writeHist != nil {
+			s.writeHist.Observe(time.Since(a0))
+		}
+		if err != nil {
 			s.logf("service/store: append %x: %v", op.key[:4], err)
 			s.mu.Lock()
 			delete(s.pending, op.key)

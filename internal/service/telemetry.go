@@ -1,0 +1,298 @@
+package service
+
+import (
+	"context"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
+
+// Metric and stage names. The span taxonomy (ARCHITECTURE.md "Telemetry"):
+// a batch enters admission, its cold candidates wait in queue_wait for a
+// shard slot and pay simulate, warm ones are served by cache_lookup (RAM),
+// disk_hit (durable store) or singleflight_wait (another caller's flight),
+// computed results drain through store_write behind the serve path, and the
+// HTTP layer pays encode on the way out. Router-tier spans: split (key
+// hashing + ring grouping), dispatch (one sub-batch round trip to a node),
+// reroute (a failover round re-grouping).
+const (
+	metricStage     = "simtune_stage_duration_seconds"
+	metricServe     = "simtune_candidate_serve_seconds"
+	metricBatch     = "simtune_batch_duration_seconds"
+	metricRtBatch   = "simtune_router_batch_duration_seconds"
+	metricRtDisp    = "simtune_router_dispatch_seconds"
+	stageAdmission  = "admission"
+	stageQueueWait  = "queue_wait"
+	stageCacheHit   = "cache_lookup"
+	stageDiskHit    = "disk_hit"
+	stageSFWait     = "singleflight_wait"
+	stageSimulate   = "simulate"
+	stageStoreWrite = "store_write"
+	stageEncode     = "encode"
+	stageSplit      = "split"
+	stageDispatch   = "dispatch"
+	stageReroute    = "reroute"
+)
+
+// Candidate serve outcomes (the per-outcome latency partition; rejected
+// batches never serve candidates, so rejection is a batch outcome only).
+const (
+	outcomeHit      = "hit"
+	outcomeDiskHit  = "disk_hit"
+	outcomeMiss     = "miss"
+	outcomeCanceled = "canceled"
+)
+
+// telemetry is one tier's instrument panel: the histogram registry, the
+// recent-trace ring, and the slow-batch log hook. A nil *telemetry is
+// telemetry switched off — every histogram it would hand out is nil (which
+// discards observations) and StartTrace returns an inert nil trace, so the
+// request path needs no feature flags, only the pointers it already holds.
+type telemetry struct {
+	m      *obs.Metrics
+	traces *obs.TraceRing
+	slow   time.Duration
+	logf   func(format string, args ...any)
+
+	encode     *obs.Histogram
+	storeWrite *obs.Histogram
+	arch       map[isa.Arch]*archTel
+}
+
+// archTel pre-registers one architecture's hot-path histograms so workers
+// never touch the registry lock.
+type archTel struct {
+	admission *obs.Histogram
+	queueWait *obs.Histogram
+	cacheHit  *obs.Histogram
+	diskHit   *obs.Histogram
+	sfWait    *obs.Histogram
+	simulate  *obs.Histogram
+
+	serveHit, serveDiskHit, serveMiss, serveCanceled *obs.Histogram
+
+	batchOK, batchCanceled, batchRejected, batchError *obs.Histogram
+}
+
+// newTelemetry builds the panel for a leaf server (archs non-empty) or a
+// router (archs nil — router histograms are registered by the caller).
+// ringSize <= 0 disables tracing only; disabled turns everything off.
+func newTelemetry(disabled bool, ringSize int, slow time.Duration, archs []isa.Arch) *telemetry {
+	if disabled {
+		return nil
+	}
+	t := &telemetry{
+		m:      obs.NewMetrics(),
+		traces: obs.NewTraceRing(ringSize),
+		slow:   slow,
+		logf:   log.Printf,
+		arch:   make(map[isa.Arch]*archTel, len(archs)),
+	}
+	t.encode = t.m.Histogram(metricStage, obs.Labels("stage", stageEncode))
+	t.storeWrite = t.m.Histogram(metricStage, obs.Labels("stage", stageStoreWrite))
+	for _, a := range archs {
+		as := string(a)
+		stage := func(s string) *obs.Histogram {
+			return t.m.Histogram(metricStage, obs.Labels("stage", s, "arch", as))
+		}
+		serve := func(o string) *obs.Histogram {
+			return t.m.Histogram(metricServe, obs.Labels("arch", as, "outcome", o))
+		}
+		batch := func(o string) *obs.Histogram {
+			return t.m.Histogram(metricBatch, obs.Labels("arch", as, "outcome", o))
+		}
+		t.arch[a] = &archTel{
+			admission: stage(stageAdmission),
+			queueWait: stage(stageQueueWait),
+			cacheHit:  stage(stageCacheHit),
+			diskHit:   stage(stageDiskHit),
+			sfWait:    stage(stageSFWait),
+			simulate:  stage(stageSimulate),
+
+			serveHit:      serve(outcomeHit),
+			serveDiskHit:  serve(outcomeDiskHit),
+			serveMiss:     serve(outcomeMiss),
+			serveCanceled: serve(outcomeCanceled),
+
+			batchOK:       batch("ok"),
+			batchCanceled: batch("canceled"),
+			batchRejected: batch("rejected"),
+			batchError:    batch("error"),
+		}
+	}
+	return t
+}
+
+// forArch returns the architecture's histogram set, nil when telemetry is
+// off or the arch unknown (callers treat a nil *archTel as "skip").
+func (t *telemetry) forArch(a isa.Arch) *archTel {
+	if t == nil {
+		return nil
+	}
+	return t.arch[a]
+}
+
+// startTrace opens a batch trace at this tier under the context's trace ID
+// (minting one if the batch arrived without — direct in-process callers).
+// Returns the possibly-updated context so in-process sub-calls inherit the
+// identity, plus the trace (nil when tracing is off — still inert-safe).
+func (t *telemetry) startTrace(ctx context.Context, tier string) (context.Context, *obs.ActiveTrace) {
+	if t == nil || t.traces == nil {
+		return ctx, nil
+	}
+	ctx, id := obs.EnsureTrace(ctx)
+	return ctx, obs.StartTrace(t.traces, id, tier)
+}
+
+// slowBatchLog emits the structured slow-batch line when the batch exceeded
+// the threshold: one greppable line with the trace ID as the join key into
+// /v1/traces.
+func (t *telemetry) slowBatchLog(tr *obs.ActiveTrace, dur time.Duration, tier, arch, workload string, candidates int, err error) {
+	if t == nil || t.slow <= 0 || dur < t.slow || tr == nil {
+		return
+	}
+	errs := ""
+	if err != nil {
+		errs = err.Error()
+	}
+	t.logf("obs: slow-batch trace=%s tier=%s arch=%s workload=%s candidates=%d dur=%s threshold=%s err=%q",
+		tr.ID(), tier, arch, workload, candidates, dur.Round(time.Microsecond), t.slow, errs)
+}
+
+// histSnapshot returns the registered histograms, nil when telemetry is off.
+func (t *telemetry) histSnapshot() []obs.HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	return t.m.Snapshot()
+}
+
+// stageLatencies summarizes every histogram as statusz-friendly quantiles.
+func stageLatencies(hists []obs.HistSnapshot) []StageLatency {
+	out := make([]StageLatency, 0, len(hists))
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Metric: h.Name,
+			Labels: h.Labels,
+			Count:  h.Count,
+			P50MS:  durMS(h.Quantile(0.50)),
+			P90MS:  durMS(h.Quantile(0.90)),
+			P99MS:  durMS(h.Quantile(0.99)),
+			MaxMS:  durMS(h.Max()),
+			MeanMS: durMS(h.Mean()),
+		})
+	}
+	return out
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// storeWriteHist hands the durable store its append-latency histogram (nil
+// when telemetry is off — the store then records nothing).
+func (t *telemetry) storeWriteHist() *obs.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.storeWrite
+}
+
+// candTimings collects one candidate's cold-path stage durations as it moves
+// through resultCache.do and shard.exec. A nil *candTimings disables
+// measurement entirely — the telemetry-off hot path takes no extra clock
+// reads. RAM hits leave every field zero: their whole cost is the serve
+// total the caller measures around the do() call.
+type candTimings struct {
+	sfWait    time.Duration // waited on another caller's in-flight compute
+	disk      time.Duration // durable-store read (hit or probe)
+	diskHit   bool
+	queueWait time.Duration // waited for a shard worker slot
+	simulate  time.Duration // build + simulate on the slot
+	simulated bool
+}
+
+// stageAgg accumulates one stage's events across a batch's workers so the
+// trace records one aggregated span per stage instead of one per candidate —
+// a 10k-candidate batch would blow the per-trace span cap in its first
+// worker otherwise. The histograms still see every individual event.
+type stageAgg struct {
+	n   atomic.Int64
+	sum atomic.Int64
+}
+
+func (a *stageAgg) add(d time.Duration) { a.n.Add(1); a.sum.Add(int64(d)) }
+
+func (a *stageAgg) span(tr *obs.ActiveTrace, stage string, start time.Time) {
+	if n := a.n.Load(); n > 0 {
+		tr.Span(stage, start, time.Duration(a.sum.Load()), int(n), "")
+	}
+}
+
+// batchAgg is a batch's per-stage aggregation, filled concurrently by the
+// workers and emitted as at most one span per stage when the batch seals.
+type batchAgg struct {
+	cacheHit, diskHit, sfWait, queueWait, simulate stageAgg
+}
+
+func (g *batchAgg) emit(tr *obs.ActiveTrace, start time.Time) {
+	if g == nil {
+		return
+	}
+	g.cacheHit.span(tr, stageCacheHit, start)
+	g.diskHit.span(tr, stageDiskHit, start)
+	g.sfWait.span(tr, stageSFWait, start)
+	g.queueWait.span(tr, stageQueueWait, start)
+	g.simulate.span(tr, stageSimulate, start)
+}
+
+// record folds one served candidate into the per-arch histograms and the
+// batch's aggregated spans. total is the full doTimed duration — on a RAM
+// hit that is the entire serve cost, which is why the hit path's telemetry
+// bill is two clock reads plus the Observe calls below.
+func (at *archTel) record(agg *batchAgg, tm *candTimings, total time.Duration, hit bool, err error) {
+	switch {
+	case err != nil:
+		at.serveCanceled.Observe(total)
+	case hit && tm.diskHit:
+		at.serveDiskHit.Observe(total)
+		at.diskHit.Observe(tm.disk)
+		agg.diskHit.add(tm.disk)
+	case hit:
+		at.serveHit.Observe(total)
+		at.cacheHit.Observe(total)
+		agg.cacheHit.add(total)
+	default:
+		at.serveMiss.Observe(total)
+	}
+	if tm.sfWait > 0 {
+		at.sfWait.Observe(tm.sfWait)
+		agg.sfWait.add(tm.sfWait)
+	}
+	if tm.queueWait > 0 {
+		at.queueWait.Observe(tm.queueWait)
+		agg.queueWait.add(tm.queueWait)
+	}
+	if tm.simulated {
+		at.simulate.Observe(tm.simulate)
+		agg.simulate.add(tm.simulate)
+	}
+}
+
+// finishBatch seals a batch's telemetry: aggregated stage spans, the batch
+// outcome histogram (nil-safe — error paths before arch resolution pass
+// nil), the trace, and the slow-batch log line.
+func (t *telemetry) finishBatch(tr *obs.ActiveTrace, agg *batchAgg, outcome *obs.Histogram, start time.Time, tier, arch, workload string, candidates int, err error) {
+	if t == nil {
+		return
+	}
+	agg.emit(tr, start)
+	dur := time.Since(start)
+	tr.Finish(err)
+	outcome.Observe(dur)
+	t.slowBatchLog(tr, dur, tier, arch, workload, candidates, err)
+}

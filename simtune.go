@@ -139,6 +139,8 @@ type TrainedModel struct {
 	split core.SplitIndices
 	norms map[int]core.GroupNorm
 	opts  TrainOptions
+
+	lastRunner *service.ServiceRunner
 }
 
 // TrainScorePredictor runs the paper's training phase: generate the dataset
@@ -249,16 +251,35 @@ func (m *TrainedModel) TuneGroup(opts TuneGroupOptions) ([]Record, error) {
 		Window: opts.Window, Seed: opts.Seed,
 	}
 	if opts.ServerURL != "" {
-		eOpt.Runner = &service.ServiceRunner{
+		runner := &service.ServiceRunner{
 			Backend:  service.NewClient(opts.ServerURL),
 			Arch:     m.Arch,
 			Workload: service.ConvGroupSpec(m.Scale, opts.Group),
 			NPar:     opts.NParallel,
 			Retries:  opts.ServerRetries,
 		}
+		m.lastRunner = runner
+		eOpt.Runner = runner
 		eOpt.Builder = service.NopBuilder{}
 	}
 	return core.ExecutionPhase(hw.Lookup(m.Arch), m.Pred, eOpt)
+}
+
+// ServiceStats is the remote-backend client's own telemetry: batch attempts
+// (including retries), how often the retry loop engaged, total backoff slept,
+// and the per-attempt request latency histogram. It complements CacheStats,
+// which describes what the fleet did; ServiceStats describes what this client
+// experienced getting there.
+type ServiceStats = service.ClientTelemetry
+
+// ServiceStats reports the client telemetry of the most recent TuneGroup call
+// that used ServerURL. The second return is false when no remote tuning has
+// run on this model (in-process backends have no client tier to report on).
+func (m *TrainedModel) ServiceStats() (ServiceStats, bool) {
+	if m.lastRunner == nil {
+		return ServiceStats{}, false
+	}
+	return m.lastRunner.Telemetry(), true
 }
 
 // CacheStats aggregates simulate-service cache bookkeeping over tuning
