@@ -1,0 +1,50 @@
+// Command simtunelint runs the project's static-analysis suite (see
+// internal/lint) over the module and exits non-zero on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/simtunelint ./...
+//
+// CI runs exactly that in the lint job; a finding is a build failure.
+// The -list flag prints the analyzers and their one-line contracts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "module directory to analyze")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simtunelint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simtunelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

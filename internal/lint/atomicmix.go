@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AtomicMix reports mixed atomic/plain access: any variable (struct field,
+// package-level var or local) whose address is ever passed to a sync/atomic
+// function must be accessed through sync/atomic everywhere. A plain read
+// races with the atomic writers — even in tests, where it "usually works"
+// until the scheduler disagrees — and a plain write silently discards the
+// atomicity the rest of the code pays for. The statusz counter ledgers
+// (hits+misses+canceled == candidates) are the motivating corpus: one plain
+// snapshot read can report a torn total that no runtime test reliably
+// catches.
+//
+// The typed atomics (atomic.Uint64 and friends) enforce this by
+// construction, which is why the service tier uses them; this analyzer
+// closes the gap for the function-based API. Collect runs over every
+// package first, so a field made atomic in one package is protected in all
+// of them.
+func AtomicMix() *Analyzer {
+	type siteInfo struct {
+		pos  token.Position // one atomic-access site, for the message
+		name string
+	}
+	atomicVars := map[string]siteInfo{} // varID -> first atomic site
+
+	// varID identifies a variable stably across the per-flavor type checks:
+	// the file position of its declaring identifier.
+	varID := func(fset *token.FileSet, v *types.Var) string {
+		p := fset.Position(v.Pos())
+		return p.Filename + ":" + strconv.Itoa(p.Offset)
+	}
+
+	// atomicArg returns the variable whose address is taken by the first
+	// argument of a sync/atomic call, if the call is one.
+	atomicArg := func(info *types.Info, call *ast.CallExpr) *types.Var {
+		fn, _ := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return nil
+		}
+		if len(call.Args) == 0 {
+			return nil
+		}
+		u, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			return nil
+		}
+		switch x := unparen(u.X).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "variables accessed with sync/atomic must never be accessed plainly",
+	}
+	a.Collect = func(p *Pass) {
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if v := atomicArg(info, call); v != nil {
+					id := varID(p.Pkg.Fset, v)
+					if _, seen := atomicVars[id]; !seen {
+						atomicVars[id] = siteInfo{pos: p.Pkg.Fset.Position(call.Pos()), name: v.Name()}
+					}
+				}
+				return true
+			})
+		}
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			// sanctioned marks the &x operands of sync/atomic calls in this
+			// file, so those uses are not re-flagged.
+			sanctioned := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if atomicArg(info, call) != nil {
+						u := unparen(call.Args[0]).(*ast.UnaryExpr)
+						sanctioned[unparen(u.X)] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				if sanctioned[n] {
+					return false // the &x inside an atomic call
+				}
+				var v *types.Var
+				var at token.Pos
+				switch x := n.(type) {
+				case *ast.Ident:
+					if obj, ok := info.Uses[x].(*types.Var); ok {
+						v, at = obj, x.Pos()
+					}
+				case *ast.SelectorExpr:
+					if obj, ok := info.Uses[x.Sel].(*types.Var); ok {
+						v, at = obj, x.Sel.Pos()
+					}
+					// Keep descending: x.X may itself be an atomic var.
+				}
+				if v == nil {
+					return true
+				}
+				site, isAtomic := atomicVars[varID(p.Pkg.Fset, v)]
+				if !isAtomic {
+					return true
+				}
+				p.Reportf(at, "plain access of %q, which is accessed atomically (e.g. at %s); use sync/atomic consistently",
+					site.name, shortPos(site.pos))
+				return false
+			})
+		}
+	}
+	return a
+}
+
+// shortPos renders file:line with the directory stripped.
+func shortPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrTaxonomyConfig scopes the wire-boundary checks.
+type ErrTaxonomyConfig struct {
+	// WirePackages are import-path prefixes whose packages put errors on
+	// the wire (internal/service): inside them, http.Error is banned in
+	// favor of the typed writeError path, and error equality against
+	// non-nil values must go through errors.Is.
+	WirePackages []string
+}
+
+// ErrTaxonomy enforces the typed service.Error taxonomy on every wire
+// path. The router's failover, the client's retry loop and the 4xx/5xx
+// split all hang off error *classification*; classification that
+// type-asserts breaks the moment an error is wrapped (fmt.Errorf("%w")
+// is pervasive here), and a raw http.Error loses Status/RetryAfter on the
+// wire. Three checks:
+//
+//  1. no type assertion or type switch on an error-typed operand, module
+//     wide — use errors.As/errors.Is. The one sanctioned shape is the
+//     target assertion inside an Is/As method, which is how the errors.Is
+//     protocol itself is implemented (service.Error.Is does this).
+//  2. no http.Error calls inside wire packages — writeError carries the
+//     classification (status + Retry-After + structured body).
+//  3. no ==/!= comparison of an error against anything but nil inside
+//     wire packages — sentinel comparison that ignores wrapping.
+func ErrTaxonomy(cfg ErrTaxonomyConfig) *Analyzer {
+	inWirePkg := func(path string) bool {
+		path = strings.TrimSuffix(path, "_test")
+		for _, p := range cfg.WirePackages {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+
+	isErrorType := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		return types.Identical(t, types.Universe.Lookup("error").Type())
+	}
+
+	// insideIsOrAs reports whether the stack passes through a method named
+	// Is or As with an error-typed first parameter — the errors.Is/As
+	// protocol implementation, where asserting on target is the point.
+	insideIsOrAs := func(stack []ast.Node) bool {
+		fd := enclosingFunc(stack)
+		if fd == nil || fd.Recv == nil || (fd.Name.Name != "Is" && fd.Name.Name != "As") {
+			return false
+		}
+		return true
+	}
+
+	a := &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "wire errors must be typed service.Error; classification via errors.Is/As only",
+	}
+	a.Run = func(p *Pass) {
+		info := p.Pkg.Info
+		wire := inWirePkg(p.Pkg.Path)
+		for _, f := range p.Pkg.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.TypeAssertExpr:
+					if x.Type == nil {
+						return true // x.(type) inside a type switch: handled below
+					}
+					if tv, ok := info.Types[x.X]; ok && isErrorType(tv.Type) && !insideIsOrAs(stack) {
+						p.Reportf(x.Pos(), "type assertion on an error value; use errors.As so wrapped errors (fmt.Errorf %%w) still classify")
+					}
+				case *ast.TypeSwitchStmt:
+					var operand ast.Expr
+					switch s := x.Assign.(type) {
+					case *ast.ExprStmt:
+						operand = s.X.(*ast.TypeAssertExpr).X
+					case *ast.AssignStmt:
+						operand = s.Rhs[0].(*ast.TypeAssertExpr).X
+					}
+					if tv, ok := info.Types[operand]; ok && isErrorType(tv.Type) && !insideIsOrAs(stack) {
+						p.Reportf(x.Pos(), "type switch on an error value; use errors.As/errors.Is so wrapped errors still classify")
+					}
+				case *ast.CallExpr:
+					if !wire {
+						return true
+					}
+					if _, id := calleeOf(info, x); id == "net/http.Error" {
+						p.Reportf(x.Pos(), "http.Error drops the typed taxonomy; use writeError so Status and Retry-After reach the wire")
+					}
+				case *ast.BinaryExpr:
+					if !wire || (x.Op != token.EQL && x.Op != token.NEQ) {
+						return true
+					}
+					xt, xok := info.Types[x.X]
+					yt, yok := info.Types[x.Y]
+					if !xok || !yok {
+						return true
+					}
+					// Comparing an error against anything but nil is a
+					// sentinel comparison that ignores wrapping.
+					if isErrorType(xt.Type) && !yt.IsNil() || isErrorType(yt.Type) && !xt.IsNil() {
+						p.Reportf(x.Pos(), "error compared with %s; use errors.Is so wrapped errors still match", x.Op)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

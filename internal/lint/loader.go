@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader builds the whole-module package set without golang.org/x/tools:
+// `go list -deps -test -export -json` names every package, its files and —
+// for standard-library dependencies — the compiled export data the running
+// toolchain just produced (always readable by the same toolchain's
+// go/importer). Module packages are then type-checked from source, in three
+// flavors mirroring how `go test` compiles them:
+//
+//   - pure: GoFiles only — what importers of the package see;
+//   - augmented: GoFiles + TestGoFiles — the package under test, with its
+//     in-package test files (this is the flavor analyzers run on, so test
+//     code is held to the same invariants);
+//   - xtest: XTestGoFiles as the separate "<path>_test" package, importing
+//     the augmented flavor.
+
+// To keep every reference to a module type resolving to one types.Package
+// identity (an xtest package may see its subject augmented while a sibling
+// dependency references the same subject through its own imports), the
+// augmented flavor IS the import universe: importers of a module package
+// get the augmented types.Package. That is a superset of the pure flavor,
+// so compilation semantics are unchanged; the one cost is that a test-file
+// import cycle (package A's tests import B, B imports A) would be reported
+// as a load error — the module has none.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	Module       *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// Loader loads and type-checks every package of one module.
+type Loader struct {
+	Dir string // module root (or any directory inside it)
+
+	fset    *token.FileSet
+	exports map[string]string   // import path -> export data file (non-module deps)
+	base    map[string]*listPkg // module packages by import path
+	order   []string            // module package paths in go list order
+	modPath string
+
+	gcImp   types.Importer
+	checked map[string]*Package
+	loading map[string]bool
+}
+
+// Load lists patterns (e.g. "./...") in dir and type-checks every module
+// package it names, returning the analysis set: augmented packages first,
+// then xtest packages, in deterministic order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: map[string]string{},
+		base:    map[string]*listPkg{},
+		checked: map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	ld.gcImp = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+	if err := ld.list(patterns); err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range ld.order {
+		lp := ld.base[path]
+		var subject *Package
+		if len(lp.GoFiles)+len(lp.CgoFiles)+len(lp.TestGoFiles) > 0 {
+			pkg, err := ld.modPkg(lp)
+			if err != nil {
+				return nil, err
+			}
+			subject = pkg
+			out = append(out, pkg)
+		}
+		if len(lp.XTestGoFiles) > 0 && subject != nil {
+			// The xtest package imports the augmented flavor of its
+			// subject, like `go test` compiles it.
+			imp := func(path string) (*types.Package, error) {
+				if path == lp.ImportPath {
+					return subject.Types, nil
+				}
+				return ld.importPath(path)
+			}
+			pkg, err := ld.check(lp, lp.XTestGoFiles, lp.ImportPath+"_test", imp)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range pkg.Files {
+				pkg.TestFile[f] = true
+			}
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// list runs `go list -deps -test -export -json` and partitions the output
+// into module packages (type-checked from source) and dependency export
+// data (everything else — in this module, the standard library).
+func (ld *Loader) list(patterns []string) error {
+	args := append([]string{"list", "-deps", "-test", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(out)
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return fmt.Errorf("lint: go list decode: %v\n%s", err, stderr.String())
+		}
+		switch {
+		case strings.Contains(lp.ImportPath, " ["), lp.ForTest != "",
+			strings.HasSuffix(lp.ImportPath, ".test"):
+			// Test-binary variants ("pkg [pkg.test]", "pkg.test"): only
+			// listed so -deps pulls export data for test-only imports.
+		case lp.Module != nil:
+			if ld.modPath == "" {
+				// The first module entry in a single-module run names the
+				// module being analyzed.
+				ld.modPath = lp.Module.Path
+			}
+			if _, dup := ld.base[lp.ImportPath]; !dup {
+				ld.base[lp.ImportPath] = &lp
+				ld.order = append(ld.order, lp.ImportPath)
+			}
+		default:
+			if lp.Export != "" {
+				ld.exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	sort.Strings(ld.order)
+	return nil
+}
+
+// lookupExport feeds the gc importer the export data file go list reported.
+func (ld *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: module packages resolve to their pure
+// source-checked flavor, everything else through export data.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	return ld.importPath(path)
+}
+
+func (ld *Loader) importPath(path string) (*types.Package, error) {
+	if lp, ok := ld.base[path]; ok {
+		pkg, err := ld.modPkg(lp)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.gcImp.Import(path)
+}
+
+// modPkg type-checks the augmented flavor of a module package on demand,
+// memoized — every importer shares the one types.Package identity.
+func (ld *Loader) modPkg(lp *listPkg) (*Package, error) {
+	if pkg, ok := ld.checked[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[lp.ImportPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q (a test-file import loop?)", lp.ImportPath)
+	}
+	ld.loading[lp.ImportPath] = true
+	defer delete(ld.loading, lp.ImportPath)
+	pkg, err := ld.check(lp, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...), lp.ImportPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	ld.checked[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// check type-checks one analysis flavor of a package.
+func (ld *Loader) check(lp *listPkg, fileNames []string, path string, imp func(string) (*types.Package, error)) (*Package, error) {
+	files, err := ld.parse(lp.Dir, fileNames)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var importer types.Importer = ld
+	if imp != nil {
+		importer = importerFunc(imp)
+	}
+	conf := types.Config{Importer: importer}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, err)
+	}
+	testFile := map[*ast.File]bool{}
+	for i, f := range files {
+		testFile[f] = strings.HasSuffix(fileNames[i], "_test.go")
+	}
+	return &Package{
+		Path:     path,
+		Dir:      lp.Dir,
+		Fset:     ld.fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		TestFile: testFile,
+	}, nil
+}
+
+func (ld *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderConfig names the ordered mutex/WaitGroup pairs and the calls
+// considered blocking.
+type LockOrderConfig struct {
+	// OrderPairs requires that WaitGroup.Add on the named field happens
+	// while the named mutex is held: {Mutex: "drainMu", Add: "inflight"}
+	// encodes the drain-gate ordering from PR 6 — Shutdown flips the
+	// draining flag under the write lock, so an Add outside the read lock
+	// can slip past a drain and lose its batch.
+	OrderPairs []OrderPair
+	// Blocking lists callee IDs (funcID form) that can block indefinitely:
+	// HTTP round-trips, fsync, sleeps. Holding any mutex across one stalls
+	// every other path serialized on that mutex.
+	Blocking []string
+}
+
+// OrderPair is one lock-before-Add requirement, matched by field name and
+// type (sync.RWMutex/Mutex and sync.WaitGroup).
+type OrderPair struct {
+	Mutex string
+	Add   string
+}
+
+// LockOrder enforces the two lock disciplines runtime tests are worst at
+// catching: the drainMu-before-inflight.Add ordering (a violation is a
+// once-per-thousand-drains lost batch, invisible to any bounded test run)
+// and "no mutex held across a blocking call" (a violation turns one slow
+// disk or peer into a full node stall — every statusz scrape, every serve
+// path queues behind the held lock).
+//
+// The analysis is lexical within one function body: events (Lock/Unlock/
+// RLock/RUnlock, WaitGroup.Add, blocking calls) are ordered by source
+// position, deferred unlocks extend to function end, and function literals
+// are separate scopes. That approximation is exact for the straight-line
+// lock regions this codebase uses.
+func LockOrder(cfg LockOrderConfig) *Analyzer {
+	blocking := map[string]bool{}
+	for _, b := range cfg.Blocking {
+		blocking[b] = true
+	}
+
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "drain-gate ordering and no-mutex-across-blocking-call",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					return true
+				}
+				checkLockBody(p, cfg, blocking, fd.Body)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+type lockEvent struct {
+	pos      token.Pos
+	kind     string     // "lock", "unlock", "add", "block"
+	obj      *types.Var // mutex or waitgroup field/var (lock/unlock/add)
+	name     string     // field name for add/lock, callee for block
+	deferred bool
+	// earlyExit marks an unlock immediately followed by return/break/
+	// continue/panic in its block: an early-exit path whose release does
+	// not apply to the code that falls through the enclosing branch
+	// (`if draining { mu.RUnlock(); return }` leaves the lock held below).
+	earlyExit bool
+	callee    string
+}
+
+// checkLockBody analyzes one function (or function literal) body.
+func checkLockBody(p *Pass, cfg LockOrderConfig, blocking map[string]bool, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	var events []lockEvent
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		inspectWithStack(root, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				checkLockBody(p, cfg, blocking, x.Body)
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				ev, ok := classifyLockCall(info, x, blocking)
+				if ok {
+					ev.deferred = deferred
+					if ev.kind == "unlock" {
+						ev.earlyExit = beforeExit(x, stack)
+					}
+					events = append(events, ev)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	// Rule A: WaitGroup.Add on a configured field must happen under its
+	// paired mutex.
+	for _, pair := range cfg.OrderPairs {
+		for _, ev := range events {
+			if ev.kind != "add" || ev.name != pair.Add {
+				continue
+			}
+			held := false
+			for _, prior := range events {
+				if prior.pos >= ev.pos || prior.obj == nil || prior.obj.Name() != pair.Mutex {
+					continue
+				}
+				switch prior.kind {
+				case "lock":
+					held = true
+				case "unlock":
+					if !prior.deferred && !prior.earlyExit {
+						held = false
+					}
+				}
+			}
+			if !held {
+				p.Reportf(ev.pos, "%s.Add without holding %s: the drain gate can flip between the check and the Add, losing the batch from the in-flight set", pair.Add, pair.Mutex)
+			}
+		}
+	}
+
+	// Rule B: no blocking call inside a held region. Deferred unlocks keep
+	// the region open to function end.
+	type region struct {
+		obj   *types.Var
+		start token.Pos
+		end   token.Pos // NoPos: still open
+	}
+	var regions []region
+	for _, ev := range events {
+		switch ev.kind {
+		case "lock":
+			regions = append(regions, region{obj: ev.obj, start: ev.pos})
+		case "unlock":
+			if ev.deferred {
+				continue // holds until return: leave the region open
+			}
+			for i := len(regions) - 1; i >= 0; i-- {
+				if regions[i].obj == ev.obj && regions[i].end == token.NoPos {
+					regions[i].end = ev.pos
+					break
+				}
+			}
+		}
+	}
+	for _, ev := range events {
+		if ev.kind != "block" {
+			continue
+		}
+		for _, r := range regions {
+			if ev.pos > r.start && (r.end == token.NoPos || ev.pos < r.end) {
+				p.Reportf(ev.pos, "%s (blocking) called while holding %s (locked at %s); release the lock first — everything serialized on it stalls behind this call",
+					ev.callee, r.obj.Name(), shortPos(p.Pkg.Fset.Position(r.start)))
+			}
+		}
+	}
+}
+
+// beforeExit reports whether the statement containing call is immediately
+// followed, in its enclosing block, by a return, branch or panic — the
+// early-exit unlock shape.
+func beforeExit(call *ast.CallExpr, stack []ast.Node) bool {
+	// Find the innermost block and the index of the statement holding call.
+	for i := len(stack) - 1; i >= 0; i-- {
+		blk, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for j, stmt := range blk.List {
+			if stmt.Pos() <= call.Pos() && call.End() <= stmt.End() {
+				if j+1 >= len(blk.List) {
+					return false
+				}
+				switch next := blk.List[j+1].(type) {
+				case *ast.ReturnStmt, *ast.BranchStmt:
+					return true
+				case *ast.ExprStmt:
+					if c, ok := next.X.(*ast.CallExpr); ok {
+						if id, ok := unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+							return true
+						}
+					}
+				}
+				return false
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// classifyLockCall decides whether a call is a lock/unlock on a sync mutex,
+// a WaitGroup.Add, or a configured blocking call.
+func classifyLockCall(info *types.Info, call *ast.CallExpr, blocking map[string]bool) (lockEvent, bool) {
+	fn, id := calleeOf(info, call)
+	if fn == nil {
+		return lockEvent{}, false
+	}
+	if blocking[id] {
+		return lockEvent{pos: call.Pos(), kind: "block", callee: shortFuncID(id)}, true
+	}
+	var kind string
+	switch id {
+	case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+		kind = "lock"
+	case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+		kind = "unlock"
+	case "sync.WaitGroup.Add":
+		kind = "add"
+	default:
+		return lockEvent{}, false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	obj := receiverVar(info, sel.X)
+	if obj == nil {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), kind: kind, obj: obj, name: obj.Name()}, true
+}
+
+// receiverVar resolves the receiver expression of a method call (s.mu,
+// mu, c.state.mu) to the variable naming the lock.
+func receiverVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return receiverVar(info, x.X)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SleepSeamConfig scopes the time.Sleep ban.
+type SleepSeamConfig struct {
+	// Packages are import-path prefixes where direct time.Sleep calls are
+	// banned (internal/service).
+	Packages []string
+	// AllowInTests exempts _test.go files: test polling helpers (waitFor)
+	// sleep on purpose, and a test sleeping cannot stall production
+	// backoff. Production code must use the injectable seam.
+	AllowInTests bool
+}
+
+// SleepSeam bans direct time.Sleep in the service tier. PR 6 added the
+// injectable sleep seam (ServiceRunner.sleep / the pause method) exactly so
+// retry pacing is assertable without wall-clock waits and so a server-side
+// Retry-After can floor the delay; a raw time.Sleep bypasses both, cannot
+// be canceled by the batch context, and turns every new wait into a flaky
+// multi-second test. New waiting code must either take a context-aware
+// select on time.After behind the seam, or thread the seam through.
+func SleepSeam(cfg SleepSeamConfig) *Analyzer {
+	inScope := func(path string) bool {
+		path = strings.TrimSuffix(path, "_test")
+		for _, p := range cfg.Packages {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	a := &Analyzer{
+		Name: "sleepseam",
+		Doc:  "direct time.Sleep is banned in internal/service; use the injectable sleep seam",
+	}
+	a.Run = func(p *Pass) {
+		if !inScope(p.Pkg.Path) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if cfg.AllowInTests && p.Pkg.TestFile[f] {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, id := calleeOf(p.Pkg.Info, call); id == "time.Sleep" {
+					p.Reportf(call.Pos(), "direct time.Sleep in the service tier; use the injectable sleep seam (ServiceRunner.pause) so waits are testable and context-cancelable")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

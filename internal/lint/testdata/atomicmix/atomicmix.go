@@ -1,0 +1,57 @@
+// Package atomicmix is the want-corpus for the atomicmix analyzer: variables
+// accessed through sync/atomic must never be accessed plainly.
+package atomicmix
+
+import "sync/atomic"
+
+// counters mirrors the statusz ledger shape: hits is atomic everywhere,
+// plain is never atomic, and torn mixes the two (the bug).
+type counters struct {
+	hits  int64
+	plain int64
+	torn  int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.torn, 1)
+}
+
+func (c *counters) loadOK() int64 {
+	return atomic.LoadInt64(&c.hits) // sanctioned: through sync/atomic
+}
+
+func (c *counters) snapshot() int64 {
+	return c.torn // want "plain access"
+}
+
+func (c *counters) reset() {
+	c.torn = 0 // want "plain access"
+}
+
+func (c *counters) plainOnly() int64 {
+	c.plain++ // never atomic anywhere: no finding
+	return c.plain
+}
+
+// gate mirrors the liveness-exception admit from the service queue: a CAS
+// loop over a typed atomic admits an oversized batch when nothing else is
+// running. Typed atomics are safe by construction — zero findings here.
+type gate struct {
+	max int64
+	cur atomic.Int64
+}
+
+func (g *gate) tryAcquire(n int) bool {
+	for {
+		cur := g.cur.Load()
+		if cur > 0 && cur+int64(n) > g.max {
+			return false
+		}
+		if g.cur.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+func (g *gate) release(n int) { g.cur.Add(int64(-n)) }

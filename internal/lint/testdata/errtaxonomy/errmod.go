@@ -1,0 +1,37 @@
+// Package errmod is the want-corpus for the errtaxonomy analyzer. The
+// module-wide rule (no type assertions on errors) applies here; the wire
+// rules apply in the wire subpackage only.
+package errmod
+
+import "io"
+
+type myErr struct{ msg string }
+
+func (e *myErr) Error() string { return e.msg }
+
+// Is implements the errors.Is protocol: asserting on target is the point,
+// so this shape is the sanctioned exemption — no finding.
+func (e *myErr) Is(target error) bool {
+	_, ok := target.(*myErr)
+	return ok
+}
+
+func classify(err error) bool {
+	_, ok := err.(*myErr) // want "errors.As"
+	return ok
+}
+
+func classifySwitch(err error) string {
+	switch err.(type) { // want "errors.As"
+	case *myErr:
+		return "mine"
+	default:
+		return "other"
+	}
+}
+
+// Outside a wire package, sentinel comparison is merely discouraged, not a
+// finding — the wire rule is scoped to packages that classify for the wire.
+func sentinelOutsideWire(err error) bool {
+	return err == io.EOF
+}

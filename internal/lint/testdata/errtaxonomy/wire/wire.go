@@ -1,0 +1,24 @@
+// Package wire is the wire-boundary half of the errtaxonomy corpus: the
+// test config lists errmod/wire as a wire package, so http.Error and
+// non-nil sentinel comparisons are findings here.
+package wire
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, err error) {
+	if err == io.EOF { // want "errors.Is"
+		http.Error(w, "eof", http.StatusInternalServerError) // want "writeError"
+		return
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) { // classification via errors.Is: no finding
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	if err != nil { // nil comparison is the one sanctioned equality: no finding
+		w.WriteHeader(http.StatusTeapot)
+	}
+}

@@ -1,0 +1,3 @@
+module hotmod
+
+go 1.21

@@ -1,0 +1,63 @@
+// Package lockmod is the want-corpus for the lockorder analyzer. The test
+// config pairs gateMu with inflight (the drain-gate ordering) and lists
+// time.Sleep as blocking.
+package lockmod
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	gateMu   sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	mu sync.Mutex
+}
+
+// admitBad joins the in-flight set without consulting the drain gate: the
+// gate can flip between the caller's check and this Add.
+func (s *server) admitBad() {
+	s.inflight.Add(1) // want "without holding"
+}
+
+// admitGood is the admit shape from the service tier: the early-exit
+// RUnlock inside the draining branch releases only that path, so the Add
+// below still runs under the read lock — a deliberate non-finding.
+func (s *server) admitGood() bool {
+	s.gateMu.RLock()
+	if s.draining {
+		s.gateMu.RUnlock()
+		return false
+	}
+	s.inflight.Add(1) // gate held on the fall-through path: no finding
+	s.gateMu.RUnlock()
+	return true
+}
+
+// admitReleased releases the gate before the Add — held-then-released is
+// exactly as racy as never-held.
+func (s *server) admitReleased() {
+	s.gateMu.RLock()
+	s.gateMu.RUnlock()
+	s.inflight.Add(1) // want "without holding"
+}
+
+func (s *server) slowUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking"
+	s.mu.Unlock()
+}
+
+func (s *server) slowUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "blocking"
+}
+
+func (s *server) slowOutsideLock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // lock already released: no finding
+}

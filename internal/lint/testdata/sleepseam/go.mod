@@ -1,0 +1,3 @@
+module sleepmod
+
+go 1.21

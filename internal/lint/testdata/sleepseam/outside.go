@@ -1,0 +1,10 @@
+// Package sleepmod sits outside the configured scope (sleepmod/svc), so a
+// direct sleep here is not a finding — the ban is a service-tier invariant,
+// not a module-wide style rule.
+package sleepmod
+
+import "time"
+
+func warmup() {
+	time.Sleep(time.Millisecond)
+}

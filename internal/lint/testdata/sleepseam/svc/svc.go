@@ -1,0 +1,15 @@
+// Package svc is the want-corpus for the sleepseam analyzer: the test
+// config scopes the time.Sleep ban to sleepmod/svc with AllowInTests set.
+package svc
+
+import "time"
+
+func backoff() {
+	time.Sleep(10 * time.Millisecond) // want "injectable sleep seam"
+}
+
+// pause is the sanctioned shape: a context-free wait threaded through a
+// seam the caller injects. Calling the seam is fine; time.Sleep is not.
+func pause(sleep func(time.Duration)) {
+	sleep(10 * time.Millisecond) // seam call, not time.Sleep: no finding
+}

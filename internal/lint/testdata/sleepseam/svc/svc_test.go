@@ -1,0 +1,12 @@
+package svc
+
+import (
+	"testing"
+	"time"
+)
+
+// Test polling helpers sleep on purpose; AllowInTests exempts _test.go
+// files, so this is a deliberate non-finding.
+func TestSleepAllowed(t *testing.T) {
+	time.Sleep(time.Millisecond)
+}

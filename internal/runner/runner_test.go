@@ -125,8 +125,8 @@ func TestSimulatorRunnerScores(t *testing.T) {
 	sc := &fixedScorer{}
 	r := NewSimulatorRunner(hw.Lookup(isa.X86).Caches, 2, sc)
 	res := r.Run(inputs, builds)
-	if sc.calls != 2 {
-		t.Fatalf("scorer called %d times want 2", sc.calls)
+	if n := atomic.LoadInt32(&sc.calls); n != 2 {
+		t.Fatalf("scorer called %d times want 2", n)
 	}
 	for _, m := range res {
 		if m.Score <= 0 {

@@ -165,8 +165,8 @@ type StageLatency struct {
 	// Metric is the Prometheus family name (e.g. simtune_stage_duration_seconds).
 	Metric string `json:"metric"`
 	// Labels is the rendered label set (e.g. `stage="simulate",arch="x86"`).
-	Labels string `json:"labels,omitempty"`
-	Count  uint64 `json:"count"`
+	Labels string  `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
 	P99MS  float64 `json:"p99_ms"`

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -168,7 +169,7 @@ func (tb *truncatedBody) Read(p []byte) (int, error) {
 	}
 	n, err := tb.inner.Read(p)
 	tb.remaining -= int64(n)
-	if err == io.EOF {
+	if errors.Is(err, io.EOF) {
 		err = nil // the cut must look like a tear, not a clean end
 	}
 	return n, err

@@ -103,9 +103,9 @@ type Router struct {
 	// per-outcome batch histograms, per-node dispatch histograms, and the
 	// router's own trace ring. Telemetry here is per-batch/per-sub-batch
 	// only — the router does no per-candidate timing.
-	tel      *telemetry
-	rtBatch  map[string]*obs.Histogram // outcome → batch duration
-	rtSplit  *obs.Histogram
+	tel       *telemetry
+	rtBatch   map[string]*obs.Histogram // outcome → batch duration
+	rtSplit   *obs.Histogram
 	rtReroute *obs.Histogram
 
 	stopProbe context.CancelFunc

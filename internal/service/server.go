@@ -314,17 +314,17 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 // Statusz implements Backend.
 func (s *Server) Statusz(context.Context) (*Statusz, error) {
 	st := &Statusz{
-		UptimeSec:     time.Since(s.start).Seconds(),
-		Draining:      s.Draining(),
-		Requests:      s.requests.Load(),
-		Candidates:    s.candidates.Load(),
+		UptimeSec:          time.Since(s.start).Seconds(),
+		Draining:           s.Draining(),
+		Requests:           s.requests.Load(),
+		Candidates:         s.candidates.Load(),
 		RejectedCandidates: s.rejected.Load(),
-		CacheHits:     s.cache.hits.Load(),
-		CacheMisses:   s.cache.misses.Load(),
-		CacheCanceled: s.cache.canceled.Load(),
-		CacheEntries:  s.cache.len(),
-		CacheDiskHits: s.cache.diskHits.Load(),
-		HandoffKeys:   s.cache.handoffKeys.Load(),
+		CacheHits:          s.cache.hits.Load(),
+		CacheMisses:        s.cache.misses.Load(),
+		CacheCanceled:      s.cache.canceled.Load(),
+		CacheEntries:       s.cache.len(),
+		CacheDiskHits:      s.cache.diskHits.Load(),
+		HandoffKeys:        s.cache.handoffKeys.Load(),
 	}
 	if s.disk != nil {
 		st.CacheDiskEntries = s.disk.Len()

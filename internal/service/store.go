@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -248,7 +249,7 @@ func (s *Store) scanSegment(id int) error {
 	var header [4 + keySize]byte
 	for {
 		if _, err := io.ReadFull(br, header[:]); err != nil {
-			if err != io.EOF {
+			if !errors.Is(err, io.EOF) {
 				s.logf("service/store: segment %s: truncated record header at offset %d — keeping valid prefix", s.segPath(id), off)
 			}
 			break
@@ -446,21 +447,30 @@ func (s *Store) Close() error {
 	s.sendMu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	// Detach the file handles under mu, then sync and close them outside
+	// it: fsync can stall on a slow disk, and anything serialized on mu
+	// (Get, Has, statusz byte counts) must not stall with it. After
+	// wg.Wait the writer is gone, so nobody re-populates the maps.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var firstErr error
-	if err := s.active.Sync(); err != nil && firstErr == nil {
-		firstErr = err
-	}
+	active := s.active
+	handles := make([]StoreFile, 0, len(s.readers))
 	for id, f := range s.readers {
-		if err := f.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		handles = append(handles, f)
 		delete(s.readers, id)
 	}
 	s.active = nil
 	s.index = map[Key]recordRef{}
 	s.pending = map[Key]Result{}
+	s.mu.Unlock()
+	var firstErr error
+	if err := active.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, f := range handles {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
@@ -659,16 +669,15 @@ func (s *Store) compact() error {
 	if err := out.Sync(); err != nil {
 		return fail(err)
 	}
-	// Phase 3 (under mu): swap — new segments live, old ones closed and
-	// removed; the last new segment becomes the append target. No append
-	// ran since the snapshot (this is the writer goroutine), so newIndex
-	// is complete.
+	// Phase 3 (under mu): swap — new segments live, the last one becomes
+	// the append target. No append ran since the snapshot (this is the
+	// writer goroutine), so newIndex is complete. The old handles are only
+	// unlinked from the maps here; closing and unlinking the files happens
+	// after the unlock — a Get that raced past the swap and still reads an
+	// old segment sees the close, and its documented retry re-resolves
+	// through the fresh index.
 	s.mu.Lock()
 	for _, id := range oldIDs {
-		oldReaders[id].Close()
-		if err := os.Remove(s.segPath(id)); err != nil {
-			s.logf("service/store: compact: remove %s: %v", s.segPath(id), err)
-		}
 		delete(s.readers, id)
 	}
 	for id, f := range newReaders {
@@ -681,6 +690,12 @@ func (s *Store) compact() error {
 	s.liveBytes = newLive
 	s.totalBytes = newLive
 	s.mu.Unlock()
+	for _, id := range oldIDs {
+		oldReaders[id].Close()
+		if err := os.Remove(s.segPath(id)); err != nil {
+			s.logf("service/store: compact: remove %s: %v", s.segPath(id), err)
+		}
+	}
 	s.logf("service/store: compacted %d segments into %d (%d live keys, %d bytes)",
 		len(oldIDs), len(newReaders), len(newIndex), newLive)
 	return nil
