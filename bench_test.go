@@ -329,6 +329,56 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	b.Run("hit-notel", func(b *testing.B) { hit(b, cfgOff) })
 }
 
+// BenchmarkBoundedResidency measures what the ARC memory bound costs at
+// serve time: the same primed 64-candidate batch served by an unbounded node
+// (every hit a RAM map lookup) vs a node bounded to 8 resident results over
+// a durable store — ARC keeps the re-touched hot entries in RAM and every
+// other hit reads through to the segment log. The disk-hit rate is the floor
+// a memory-bounded node serves a corpus ≫ its RAM at; it must sit orders of
+// magnitude above re-simulation (BenchmarkServiceThroughput/miss), because
+// that is the bargain the bound strikes: cap RAM, never re-pay a simulation.
+func BenchmarkBoundedResidency(b *testing.B) {
+	const batch, bound = 64, 8
+	req := &service.SimulateRequest{
+		Arch:       "riscv",
+		Workload:   service.ConvGroupSpec(te.ScaleSmall, 1),
+		Candidates: serviceBenchBatch(b, batch),
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, cfg service.Config) {
+		srv := mustBenchServer(b, cfg)
+		if _, err := srv.Simulate(ctx, req); err != nil { // prime the corpus
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := srv.Simulate(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r := resp.Results[0]; r.Err != "" || !r.CacheHit {
+				b.Fatalf("primed batch missed: %+v", r)
+			}
+		}
+		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
+		st, err := srv.Statusz(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.CacheResident), "resident")
+	}
+	b.Run("unbounded-ram", func(b *testing.B) {
+		run(b, service.Config{Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4})
+	})
+	b.Run("bounded-disk", func(b *testing.B) {
+		run(b, service.Config{
+			Archs: []isa.Arch{isa.RISCV}, WorkersPerArch: 4,
+			MaxResidentResults: bound, CacheDir: b.TempDir(),
+		})
+	})
+}
+
 // BenchmarkRouterThroughput measures the consistent-hash routing tier on the
 // cache-hit path — the multi-node half of the BenchmarkServiceThroughput
 // story. Parallel clients re-submit a primed 32-candidate batch; "direct" is

@@ -52,6 +52,7 @@ func serve(args []string) error {
 	archsFlag := fs.String("archs", "x86,arm,riscv", "comma-separated served architectures")
 	workers := fs.Int("workers", 4, "simulator instances per architecture shard")
 	cacheCap := fs.Int("cache-cap", 1<<18, "in-memory result cache capacity (entries)")
+	maxResident := fs.Int("max-resident", 0, "ARC bound on results held in RAM; evicted results stay servable from -cache-dir (0 = use -cache-cap)")
 	cacheDir := fs.String("cache-dir", "", "durable result store directory; a restarted server recovers its computed corpus from the segment log here (empty = memory only)")
 	segBytes := fs.Int64("cache-seg-bytes", 0, "store segment rotation size in bytes (default 64 MB)")
 	maxQueued := fs.Int("max-queued", 0, "admission bound: candidates held (queued+running) before new batches get 429 + Retry-After (default 65536)")
@@ -73,7 +74,8 @@ func serve(args []string) error {
 	}
 	srv, err := service.NewServer(service.Config{
 		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
-		CacheDir: *cacheDir, CacheSegmentBytes: *segBytes,
+		MaxResidentResults: *maxResident,
+		CacheDir:           *cacheDir, CacheSegmentBytes: *segBytes,
 		MaxQueuedCandidates: *maxQueued, DrainTimeout: *drainTimeout,
 		SlowBatchThreshold: *slowBatch, TraceRingSize: *traceRing,
 		EnablePprof: *pprofFlag, DisableTelemetry: *noTel,
@@ -118,6 +120,8 @@ func route(args []string) error {
 	probe := fs.Duration("probe", 2*time.Second, "health-probe interval (a recovered node rejoins within one interval)")
 	handoff := fs.Bool("handoff", true, "warm-handoff on rejoin: replay the keys a recovered node owns from its ring successors before it re-enters rotation")
 	handoffChunk := fs.Int("handoff-chunk", 0, "results per fetch/ingest round trip during handoff (default 256)")
+	rf := fs.Int("rf", 0, "replication factor: ring nodes holding each key — owner plus rf-1 successors (default 2; 1 disables replication)")
+	antiEntropy := fs.Duration("antientropy", 0, "anti-entropy round interval: diff /v1/keys between replicas and repair gaps (default 1m; negative disables)")
 	slowBatch := fs.Duration("slow-batch", 0, "log a structured slow-batch line for batches slower than this (0 = off)")
 	traceRing := fs.Int("trace-ring", 0, "batch traces retained for GET /v1/traces (default 256, negative disables tracing)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -137,6 +141,7 @@ func route(args []string) error {
 	rt, err := service.NewRouter(service.RouterConfig{
 		Nodes: nodes, Replicas: *replicas, ProbeInterval: *probe,
 		DisableHandoff: !*handoff, HandoffChunk: *handoffChunk,
+		ReplicationFactor: *rf, AntiEntropyInterval: *antiEntropy,
 		SlowBatchThreshold: *slowBatch, TraceRingSize: *traceRing,
 		EnablePprof: *pprofFlag, DisableTelemetry: *noTel,
 	})

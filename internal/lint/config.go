@@ -23,7 +23,11 @@ func DefaultAnalyzers() []*Analyzer {
 				// Cache-hit serve path (PR 2/PR 7): ~490k cand/s; one
 				// batched mutex is the design, so locks are allowed, but
 				// clock reads must stay behind nil telemetry guards and
-				// formatting/JSON stay off the path entirely.
+				// formatting/JSON stay off the path entirely. The ARC
+				// eviction bookkeeping (PR 9) rides the same mutex and
+				// times itself behind the same nil guard — a compound
+				// `tm != nil && evicted > 0` condition still waives the
+				// clock read (pinned by the hotmod want-corpus).
 				{Name: "repro/internal/service.resultCache.do"},
 				{Name: "repro/internal/service.resultCache.doTimed"},
 			},

@@ -40,19 +40,87 @@ type flight struct {
 	done chan struct{}
 }
 
+// ARC list membership. T1/T2 entries are resident (hold a Result); B1/B2 are
+// ghosts — the key is tracked for adaptation but the value was evicted and
+// lives only in the durable store (or, on a memory-only cache, is gone and
+// costs one simulation to refill).
+const (
+	listT1 int8 = iota // resident, seen once recently
+	listT2             // resident, seen at least twice
+	listB1             // ghost evicted from T1
+	listB2             // ghost evicted from T2
+)
+
+// cacheEntry is one tracked key: an intrusive node on exactly one of the four
+// ARC lists. res is zeroed when the entry is demoted to a ghost list.
+type cacheEntry struct {
+	key        Key
+	res        Result
+	list       int8
+	prev, next *cacheEntry
+}
+
+func (e *cacheEntry) resident() bool { return e.list == listT1 || e.list == listT2 }
+
+// entryList is an intrusive doubly-linked list with a sentinel root:
+// root.next is the MRU end, root.prev the LRU end.
+type entryList struct {
+	root cacheEntry
+	n    int
+}
+
+func (l *entryList) init() {
+	l.root.next = &l.root
+	l.root.prev = &l.root
+	l.n = 0
+}
+
+func (l *entryList) pushFront(e *cacheEntry) {
+	e.prev = &l.root
+	e.next = l.root.next
+	e.prev.next = e
+	e.next.prev = e
+	l.n++
+}
+
+func (l *entryList) remove(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+func (l *entryList) back() *cacheEntry {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
 // resultCache is the content-addressed result store plus a singleflight
 // layer: concurrent requests for the same key — within one batch or across
 // clients — wait for the first computation instead of duplicating it.
-// When disk is non-nil it is the durable layer beneath the in-memory map:
-// computed results are written behind asynchronously, and a key missing
-// from RAM (restart, eviction) is served from its segment record instead of
-// re-simulated.
+//
+// Residency is bounded by an ARC policy (Megiddo & Modha): at most capacity
+// results are held in RAM, split between a recency list (T1) and a frequency
+// list (T2) whose balance adapts via ghost hits (B1/B2 track recently evicted
+// keys without their values). capacity <= 0 means unbounded — no eviction,
+// no ghosts. When disk is non-nil it is the durable layer beneath the
+// resident set: computed results are written behind asynchronously, and a key
+// missing from RAM (restart, eviction) is served from its segment record
+// instead of re-simulated. The miss path installs the durable record
+// *before* the entry becomes resident, so every evictable entry is already
+// servable from disk — bounding RAM never loses a paid-for result.
 type resultCache struct {
 	mu       sync.Mutex
-	entries  map[Key]Result
+	entries  map[Key]*cacheEntry // every tracked key: resident and ghost
 	inflight map[Key]*flight
 	capacity int
 	disk     *Store // nil: memory-only
+
+	// ARC state (all guarded by mu). p is the adaptive target size of T1.
+	p              int
+	t1, t2, b1, b2 entryList
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -63,45 +131,59 @@ type resultCache struct {
 	// CacheStats accounting drifts on every aborted batch.
 	canceled atomic.Uint64
 	// diskHits is the subset of hits served from the durable store rather
-	// than RAM (each key pays at most one disk read per process — it is
-	// promoted into the map on first touch). hits already includes them, so
-	// the hits+misses+canceled == candidates reconciliation is unchanged.
+	// than RAM (first touch of a key after a restart or after eviction).
+	// hits already includes them, so the hits+misses+canceled == candidates
+	// reconciliation is unchanged.
 	diskHits atomic.Uint64
 	// handoffKeys counts results ingested through the warm-handoff replay
 	// (/v1/ingest). Handoff entries are not candidate servings, so they
 	// deliberately touch none of the counters above.
 	handoffKeys atomic.Uint64
+	// evictions counts resident entries demoted to ghosts (or dropped
+	// outright) by the ARC bound. Like handoffKeys it is a parallel ledger:
+	// an eviction serves no candidate, so it stays outside the
+	// hits+misses+canceled == candidates reconciliation.
+	evictions atomic.Uint64
 }
 
 func newResultCache(capacity int, disk *Store) *resultCache {
-	return &resultCache{
-		entries:  make(map[Key]Result),
+	c := &resultCache{
+		entries:  make(map[Key]*cacheEntry),
 		inflight: make(map[Key]*flight),
 		capacity: capacity,
 		disk:     disk,
 	}
+	c.t1.init()
+	c.t2.init()
+	c.b1.init()
+	c.b2.init()
+	return c
 }
 
 // do returns the cached result for k, or computes it exactly once across all
 // concurrent callers. hit reports whether this caller was spared a
-// simulation (served from the map or from another caller's flight). compute
-// returns a non-nil error only for non-deterministic failures (cancellation)
-// — those are never cached; deterministic build/simulate failures travel
-// inside Result.Err and are cached like successes, since re-submitting a
-// broken candidate would fail identically.
+// simulation (served from the resident set, the durable store, or another
+// caller's flight). compute returns a non-nil error only for
+// non-deterministic failures (cancellation) — those are never cached;
+// deterministic build/simulate failures travel inside Result.Err and are
+// cached like successes, since re-submitting a broken candidate would fail
+// identically.
 func (c *resultCache) do(ctx context.Context, k Key, compute func() (Result, error)) (r Result, hit bool, err error) {
 	return c.doTimed(ctx, k, nil, compute)
 }
 
 // doTimed is do with optional stage timing: a non-nil tm accumulates how
-// long this caller spent waiting on another flight (singleflight_wait) and
-// reading the durable layer (disk_hit). nil tm measures nothing — the
-// telemetry-off path takes no clock reads here.
+// long this caller spent waiting on another flight (singleflight_wait),
+// reading the durable layer (disk_hit), and doing eviction bookkeeping
+// (evict). nil tm measures nothing — the telemetry-off path takes no clock
+// reads here.
 func (c *resultCache) doTimed(ctx context.Context, k Key, tm *candTimings, compute func() (Result, error)) (r Result, hit bool, err error) {
 	diskChecked := false
 	for {
 		c.mu.Lock()
-		if r, ok := c.entries[k]; ok {
+		if e, ok := c.entries[k]; ok && e.resident() {
+			c.touch(e)
+			r := e.res
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return r, true, nil
@@ -129,10 +211,10 @@ func (c *resultCache) doTimed(ctx context.Context, k Key, tm *candTimings, compu
 			}
 		}
 		if c.disk != nil && !diskChecked {
-			// Not in RAM and nobody is computing it: the durable layer may
-			// hold it from a previous process lifetime (or after eviction).
-			// Read outside the lock — a racing reader doing the same work
-			// promotes the identical value, which is harmless.
+			// Not resident and nobody is computing it: the durable layer may
+			// hold it from a previous process lifetime or from before an
+			// eviction. Read outside the lock — a racing reader doing the
+			// same work promotes the identical value, which is harmless.
 			c.mu.Unlock()
 			diskChecked = true
 			var d0 time.Time
@@ -145,9 +227,7 @@ func (c *resultCache) doTimed(ctx context.Context, k Key, tm *candTimings, compu
 				tm.diskHit = ok
 			}
 			if ok {
-				c.mu.Lock()
-				c.store(k, res)
-				c.mu.Unlock()
+				c.storeTimed(k, res, tm)
 				c.hits.Add(1)
 				c.diskHits.Add(1)
 				return res, true, nil
@@ -159,35 +239,65 @@ func (c *resultCache) doTimed(ctx context.Context, k Key, tm *candTimings, compu
 		c.mu.Unlock()
 
 		r, err := compute()
+		if err == nil && c.disk != nil {
+			// Durability before evictability: Put lands the result in the
+			// store's pending map synchronously (the disk write itself is
+			// behind), so by the time the entry is resident — and therefore
+			// evictable — the durable layer can already serve it.
+			c.disk.Put(k, r)
+		}
+		var e0 time.Time
+		if tm != nil {
+			e0 = time.Now()
+		}
+		ev := 0
 		c.mu.Lock()
 		if err == nil {
-			c.store(k, r)
+			ev = c.store(k, r)
 		}
 		delete(c.inflight, k)
 		c.mu.Unlock()
 		close(f.done)
+		if tm != nil && ev > 0 {
+			tm.evict += time.Since(e0)
+			tm.evicted = true
+		}
 		if err != nil {
 			c.canceled.Add(1)
 			return Result{}, false, err
-		}
-		if c.disk != nil {
-			// Write-behind: the simulate path never waits on the disk.
-			c.disk.Put(k, r)
 		}
 		c.misses.Add(1)
 		return r, false, nil
 	}
 }
 
-// keysInRange lists every key this cache can serve (RAM and durable layer)
-// whose ring position falls in [lo, hi] (wrapping when lo > hi) — the
-// /v1/keys surface the warm-handoff replay walks.
+// storeTimed installs a result with the same nil-guarded evict timing as the
+// miss path (used by the disk-promote path, which runs without the lock).
+func (c *resultCache) storeTimed(k Key, r Result, tm *candTimings) {
+	var e0 time.Time
+	if tm != nil {
+		e0 = time.Now()
+	}
+	c.mu.Lock()
+	ev := c.store(k, r)
+	c.mu.Unlock()
+	if tm != nil && ev > 0 {
+		tm.evict += time.Since(e0)
+		tm.evicted = true
+	}
+}
+
+// keysInRange lists every key this cache can serve (resident set and durable
+// layer) whose ring position falls in [lo, hi] (wrapping when lo > hi) — the
+// /v1/keys surface the warm-handoff replay and anti-entropy rounds walk.
+// Ghost entries are skipped: their values live on disk (covered by
+// disk.Keys) or are gone.
 func (c *resultCache) keysInRange(lo, hi uint64) []Key {
 	seen := make(map[Key]bool)
 	c.mu.Lock()
-	out := make([]Key, 0, len(c.entries))
-	for k := range c.entries {
-		if posInRange(keyPos(k), lo, hi) {
+	out := make([]Key, 0, c.t1.n+c.t2.n)
+	for k, e := range c.entries {
+		if e.resident() && posInRange(keyPos(k), lo, hi) {
 			seen[k] = true
 			out = append(out, k)
 		}
@@ -205,13 +315,19 @@ func (c *resultCache) keysInRange(lo, hi uint64) []Key {
 
 // fetch returns the stored results for the requested keys (absent keys are
 // silently dropped — the caller asked from a possibly stale key listing).
-// Serving a fetch is replication traffic, not candidate traffic, so it
-// touches none of the hit/miss counters.
+// Keys evicted from RAM read through to the durable store, so replication
+// never under-reports a bounded node's corpus. Serving a fetch is
+// replication traffic, not candidate traffic, so it touches none of the
+// hit/miss counters and does not perturb ARC recency.
 func (c *resultCache) fetch(keys []Key) []Entry {
 	out := make([]Entry, 0, len(keys))
 	for _, k := range keys {
+		var r Result
+		ok := false
 		c.mu.Lock()
-		r, ok := c.entries[k]
+		if e, got := c.entries[k]; got && e.resident() {
+			r, ok = e.res, true
+		}
 		c.mu.Unlock()
 		if !ok && c.disk != nil {
 			r, ok = c.disk.Get(k)
@@ -223,16 +339,21 @@ func (c *resultCache) fetch(keys []Key) []Entry {
 	return out
 }
 
-// ingest installs replayed results from a peer (warm handoff). Keys already
-// present are skipped — results are content-addressed, so the values cannot
-// differ. Returns how many entries were new; those count into handoffKeys,
-// not hits/misses (nothing was served to a client).
+// ingest installs replayed results from a peer (warm handoff, write-through
+// replication, anti-entropy). Keys already present are skipped — results are
+// content-addressed, so the values cannot differ. On a durable node the
+// entries go to disk only: pulling replication traffic into the bounded
+// resident set would evict genuinely hot keys (ingest-side scan resistance);
+// the key is served from its segment record on first client touch. Returns
+// how many entries were new; those count into handoffKeys, not hits/misses
+// (nothing was served to a client).
 func (c *resultCache) ingest(entries []Entry) int {
 	n := 0
 	for _, e := range entries {
 		c.mu.Lock()
-		_, inRAM := c.entries[e.Key]
-		if !inRAM {
+		ce, got := c.entries[e.Key]
+		inRAM := got && ce.resident()
+		if !inRAM && c.disk == nil {
 			c.store(e.Key, e.Result)
 		}
 		c.mu.Unlock()
@@ -251,25 +372,140 @@ func (c *resultCache) ingest(entries []Entry) int {
 	return n
 }
 
-// store inserts under the capacity bound. Eviction is deliberately crude —
-// drop arbitrary entries (Go map iteration order) until under budget; a
-// content-addressed cache of deterministic results has no freshness to
-// preserve and refilling a dropped key costs one simulation.
-func (c *resultCache) store(k Key, r Result) {
-	if len(c.entries) >= c.capacity {
-		for victim := range c.entries {
-			delete(c.entries, victim)
-			if len(c.entries) < c.capacity {
-				break
+// store installs k under the ARC policy and returns how many resident
+// entries were evicted to make room (0 or 1). Callers hold c.mu.
+//
+// The four ARC cases (Megiddo & Modha, FAST '03), with one safety deviation:
+// replace() is a no-op while the resident set is under budget, so a ghost
+// hit on a part-full cache never evicts.
+func (c *resultCache) store(k Key, r Result) int {
+	if e, ok := c.entries[k]; ok {
+		switch e.list {
+		case listT1, listT2:
+			// Case I: resident hit — refresh the value, promote to T2 MRU.
+			e.res = r
+			c.touch(e)
+			return 0
+		case listB1:
+			// Case II: ghost hit in B1 — recency is paying off; grow T1's
+			// target share before making room.
+			d := 1
+			if c.b1.n > 0 && c.b2.n/c.b1.n > 1 {
+				d = c.b2.n / c.b1.n
 			}
+			c.p += d
+			if c.p > c.capacity {
+				c.p = c.capacity
+			}
+			ev := c.replace(false)
+			c.b1.remove(e)
+			e.res = r
+			e.list = listT2
+			c.t2.pushFront(e)
+			return ev
+		default: // listB2
+			// Case III: ghost hit in B2 — frequency is paying off; shrink
+			// T1's target share before making room.
+			d := 1
+			if c.b2.n > 0 && c.b1.n/c.b2.n > 1 {
+				d = c.b1.n / c.b2.n
+			}
+			c.p -= d
+			if c.p < 0 {
+				c.p = 0
+			}
+			ev := c.replace(true)
+			c.b2.remove(e)
+			e.res = r
+			e.list = listT2
+			c.t2.pushFront(e)
+			return ev
 		}
 	}
-	c.entries[k] = r
+	e := &cacheEntry{key: k, res: r, list: listT1}
+	if c.capacity <= 0 {
+		// Unbounded: plain insert, no ghosts, no eviction.
+		c.entries[k] = e
+		c.t1.pushFront(e)
+		return 0
+	}
+	// Case IV: brand-new key.
+	ev := 0
+	if c.t1.n+c.b1.n >= c.capacity {
+		if c.t1.n < c.capacity {
+			if g := c.b1.back(); g != nil {
+				c.b1.remove(g)
+				delete(c.entries, g.key)
+			}
+			ev = c.replace(false)
+		} else if v := c.t1.back(); v != nil {
+			// B1 is empty and T1 fills the whole budget: drop T1's LRU
+			// outright (no ghost — the directory is already at capacity).
+			c.t1.remove(v)
+			delete(c.entries, v.key)
+			c.evictions.Add(1)
+			ev = 1
+		}
+	} else if total := c.t1.n + c.t2.n + c.b1.n + c.b2.n; total >= c.capacity {
+		if total >= 2*c.capacity {
+			if g := c.b2.back(); g != nil {
+				c.b2.remove(g)
+				delete(c.entries, g.key)
+			}
+		}
+		ev = c.replace(false)
+	}
+	c.entries[k] = e
+	c.t1.pushFront(e)
+	return ev
 }
 
-// len reports the current entry count.
+// touch moves a resident entry to T2's MRU position (a second access proves
+// frequency). Callers hold c.mu.
+func (c *resultCache) touch(e *cacheEntry) {
+	switch e.list {
+	case listT1:
+		c.t1.remove(e)
+	case listT2:
+		c.t2.remove(e)
+	}
+	e.list = listT2
+	c.t2.pushFront(e)
+}
+
+// replace demotes one resident entry to its ghost list, honoring the
+// adaptive target p: T1's LRU goes to B1 while T1 exceeds its share,
+// otherwise T2's LRU goes to B2. Returns how many entries were evicted
+// (0 while the resident set is under budget — nothing needs to go).
+// Callers hold c.mu.
+func (c *resultCache) replace(inB2 bool) int {
+	if c.t1.n+c.t2.n < c.capacity {
+		return 0
+	}
+	if c.t1.n > 0 && (c.t1.n > c.p || (inB2 && c.t1.n == c.p) || c.t2.n == 0) {
+		v := c.t1.back()
+		c.t1.remove(v)
+		v.res = Result{}
+		v.list = listB1
+		c.b1.pushFront(v)
+	} else {
+		v := c.t2.back()
+		if v == nil {
+			return 0
+		}
+		c.t2.remove(v)
+		v.res = Result{}
+		v.list = listB2
+		c.b2.pushFront(v)
+	}
+	c.evictions.Add(1)
+	return 1
+}
+
+// len reports the resident entry count (|T1| + |T2|) — ghosts hold no
+// results, so they are not "entries" to the statusz surface.
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.t1.n + c.t2.n
 }

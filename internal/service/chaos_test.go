@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"os"
 	"reflect"
 	"sync"
 	"testing"
@@ -390,5 +391,199 @@ func TestChaosStoreFaultsAreSurvivable(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("candidate %d: recovery changed the result:\n got %+v\nwant %+v", i, got, want)
 		}
+	}
+}
+
+// kill is the permanent-loss path: no drain, no handoff — the HTTP surface
+// and the server die mid-flight and the node's disk is destroyed. Nothing of
+// the node survives; whatever the fleet still serves of its range comes from
+// replicas.
+func (n *chaosNode) kill() {
+	n.t.Helper()
+	n.mu.Lock()
+	hsrv, srv := n.hsrv, n.srv
+	n.mu.Unlock()
+	hsrv.Close() // immediate, not graceful — a crash, not a SIGTERM
+	srv.Close()
+	if err := os.RemoveAll(n.dir); err != nil {
+		n.t.Fatal(err)
+	}
+}
+
+// TestChaosPermanentNodeLossServesFromReplica is the replication acceptance
+// run: a 3-node durable fleet at the default ReplicationFactor (2) tunes a
+// corpus, then one node is killed PERMANENTLY — process and disk both gone,
+// no drain, no rejoin. The standing invariants:
+//
+//   - the re-run after the loss is bit-identical to the in-process baseline
+//     and simulates NOTHING: the dead node's range is served from the
+//     write-through replicas on its successors, at hit rate
+//   - anti-entropy then heals the survivors back to ReplicationFactor
+//     copies of every key, and converges (a settled round moves zero)
+//   - every surviving node's statusz still reconciles
+//   - the harness does not leak goroutines
+func TestChaosPermanentNodeLossServesFromReplica(t *testing.T) {
+	const (
+		group  = 1
+		trials = 24
+		seed   = 5
+	)
+	sentinel := obs.NewGoroutineSentinel()
+
+	prof := hw.Lookup(isa.RISCV)
+	baseOpt := core.ExecutionOptions{
+		Scale: te.ScaleTiny, Group: group, Trials: trials, BatchSize: 8,
+		NParallel: 4, Seed: seed,
+	}
+	inproc, err := core.ExecutionPhase(prof, stubPredictor{}, baseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All three disks honest: the zero-duplicate assertion needs every
+	// computed result durably on its replicas before the loss.
+	nodes := make([]*chaosNode, 3)
+	for i := range nodes {
+		nodes[i] = &chaosNode{t: t, dir: t.TempDir()}
+		nodes[i].start(nil)
+	}
+	inner := &http.Transport{}
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = "http://" + n.addr
+	}
+	rt, err := NewRouter(RouterConfig{
+		Nodes: urls, ProbeInterval: -1, AntiEntropyInterval: -1, // both driven manually
+		HTTPClient: &http.Client{Transport: inner, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tune := func() []ansor.Record {
+		opt := baseOpt
+		opt.Runner = &ServiceRunner{
+			Backend:  rt,
+			Arch:     isa.RISCV,
+			Workload: ConvGroupSpec(te.ScaleTiny, group),
+			NPar:     4,
+			Retries:  20, RetryBackoff: 5 * time.Millisecond, RetryBackoffMax: 80 * time.Millisecond,
+		}
+		opt.Builder = NopBuilder{}
+		recs, err := core.ExecutionPhase(prof, stubPredictor{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	assertBitIdentical := func(label string, recs []ansor.Record) {
+		t.Helper()
+		if len(recs) != len(inproc) {
+			t.Fatalf("%s: %d records, in-process %d", label, len(recs), len(inproc))
+		}
+		for i, r := range inproc {
+			if recs[i].Err != nil {
+				t.Fatalf("%s: record %d failed: %v", label, i, recs[i].Err)
+			}
+			if schedule.Fingerprint(r.Steps) != schedule.Fingerprint(recs[i].Steps) {
+				t.Fatalf("%s: record %d: search diverged", label, i)
+			}
+			got, want := normalized(recs[i].Stats), normalized(r.Stats)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: record %d: stats not bit-identical:\n got %+v\nwant %+v", label, i, got, want)
+			}
+		}
+	}
+
+	// Phase 1: tune through the healthy fleet. Write-through replication is
+	// on by default, so by the time this returns every fresh result is on
+	// its owner AND its ring successor.
+	assertBitIdentical("healthy tune", tune())
+	if rt.replicaKeys.Load() == 0 {
+		t.Fatal("healthy tune replicated nothing — write-through is not running")
+	}
+	for rt.antiEntropyOnce(context.Background()) != 0 {
+	}
+
+	// Phase 2: node 0 dies for good — process and disk. The probe notices;
+	// the node never returns.
+	nodes[0].kill()
+	waitFor(t, "the dead node to leave rotation", func() bool {
+		rt.probeOnce(context.Background())
+		return !rt.nodes[0].up.Load()
+	})
+
+	survivorSimulated := func() uint64 {
+		var total uint64
+		for _, n := range nodes[1:] {
+			st, err := n.server().Statusz(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sh := range st.Shards {
+				total += sh.Simulated
+			}
+		}
+		return total
+	}
+
+	// Phase 3: the re-run must not notice the loss — the dead node's range
+	// serves from its successors' replicas at hit rate, zero re-simulation.
+	before := survivorSimulated()
+	assertBitIdentical("re-run after permanent loss", tune())
+	if after := survivorSimulated(); after != before {
+		t.Fatalf("permanent loss re-simulated %d candidates — replicas had holes", after-before)
+	}
+	for i, n := range nodes[1:] {
+		st, err := n.server().Statusz(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CacheHits+st.CacheMisses+st.CacheCanceled != st.Candidates {
+			t.Fatalf("survivor %d does not reconcile: %d+%d+%d != %d",
+				i+1, st.CacheHits, st.CacheMisses, st.CacheCanceled, st.Candidates)
+		}
+	}
+
+	// Phase 4: anti-entropy heals the fleet back to RF copies per key among
+	// the survivors — the dead node's replica duty shifted down the ring —
+	// and reaches a fixed point.
+	healed := 0
+	for {
+		moved := rt.antiEntropyOnce(context.Background())
+		if moved == 0 {
+			break
+		}
+		healed += moved
+	}
+	if healed == 0 {
+		t.Fatal("anti-entropy moved nothing — the dead node's range was not re-replicated")
+	}
+	if rt.antiEntropyOnce(context.Background()) != 0 {
+		t.Fatal("anti-entropy did not hold its fixed point")
+	}
+
+	// Both survivors now hold the whole corpus: every key readable on each.
+	for i, n := range nodes[1:] {
+		keys, err := n.server().Keys(context.Background(), 0, ^uint64(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != len(inproc) {
+			t.Fatalf("survivor %d holds %d keys after healing, want the full corpus %d",
+				i+1, len(keys), len(inproc))
+		}
+	}
+
+	rt.Close()
+	for _, n := range nodes[1:] {
+		n.stop()
+		if err := n.server().Close(); err != nil {
+			t.Errorf("close %s: %v", n.addr, err)
+		}
+	}
+	inner.CloseIdleConnections()
+	if err := sentinel.WaitSettled(2, 5*time.Second); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -131,6 +131,16 @@ type Statusz struct {
 	// CacheDiskEntries is the durable store's key count (0 without a
 	// -cache-dir); it can exceed CacheEntries, whose RAM map is bounded.
 	CacheDiskEntries int `json:"cache_disk_entries"`
+	// CacheResident is the ARC resident count (|T1|+|T2| — the results
+	// actually held in RAM). It equals CacheEntries; the explicit name
+	// exists so operators watching the memory bound don't have to know the
+	// legacy field's semantics. On a router, the sum over reachable nodes.
+	CacheResident int `json:"cache_resident"`
+	// CacheEvictions counts resident results demoted to ghosts (or dropped)
+	// by the ARC bound. An eviction serves no candidate, so — like
+	// HandoffKeys — it is a parallel ledger outside the
+	// hits+misses+canceled == candidates reconciliation.
+	CacheEvictions uint64 `json:"cache_evictions"`
 	// HandoffKeys: on a leaf server, results installed via /v1/ingest
 	// (warm-handoff replay into this node); on a router, results it
 	// replayed into rejoining nodes. Handoff moves cache contents without
@@ -155,6 +165,19 @@ type Statusz struct {
 	// disk including garbage awaiting compaction). Zero without -cache-dir.
 	StoreLiveBytes  int64 `json:"store_live_bytes,omitempty"`
 	StoreTotalBytes int64 `json:"store_total_bytes,omitempty"`
+	// StoreCompactions counts completed background segment compactions
+	// (the dead-bytes-threshold rewrites that keep TotalBytes near
+	// LiveBytes). Zero without -cache-dir.
+	StoreCompactions uint64 `json:"store_compactions,omitempty"`
+	// ReplicaKeys: on a router, entries it write-through-replicated or
+	// anti-entropy-repaired onto ring replicas. Replication moves cache
+	// contents without serving candidates, so like HandoffKeys it stays
+	// outside the hit/miss reconciliation. Leaf servers report 0 — their
+	// side of the traffic lands in HandoffKeys (the /v1/ingest ledger).
+	ReplicaKeys uint64 `json:"replica_keys,omitempty"`
+	// AntiEntropyRounds counts completed anti-entropy rounds on this router
+	// (a round diffs /v1/keys between replicas and repairs the gaps).
+	AntiEntropyRounds uint64 `json:"antientropy_rounds,omitempty"`
 }
 
 // StageLatency is one telemetry histogram series summarized as quantiles —

@@ -152,6 +152,7 @@ func TestRingRejoinHandoffZeroDuplicateSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	req := &SimulateRequest{
 		Arch:       "riscv",
 		Workload:   ConvGroupSpec(te.ScaleTiny, group),
@@ -287,6 +288,7 @@ func TestRejoinWithDurableStoreReplaysOnlyTheGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	all := tinyCandidates(t, group, 32)
 	reqA := &SimulateRequest{Arch: "riscv", Workload: ConvGroupSpec(te.ScaleTiny, group), Candidates: all[:16]}
 	reqB := &SimulateRequest{Arch: "riscv", Workload: ConvGroupSpec(te.ScaleTiny, group), Candidates: all[16:]}
@@ -378,6 +380,7 @@ func TestFailedHandoffKeepsNodeOutOfRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	req := &SimulateRequest{
 		Arch:       "riscv",
 		Workload:   ConvGroupSpec(te.ScaleTiny, group),
@@ -454,6 +457,7 @@ func TestRejoinWithoutHandoffSurfaceStillRejoins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rt.Close()
 	flaky.tripped.Store(true)
 	rt.probeOnce(context.Background())
 	if rt.nodes[0].up.Load() {

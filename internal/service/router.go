@@ -33,8 +33,21 @@ type RouterConfig struct {
 	// DisableHandoff turns off the warm-handoff replay that runs when a
 	// node rejoins the ring. With handoff off, a rejoining node re-simulates
 	// the keys it owns (its misses) instead of receiving them from the
-	// successors that covered its range.
+	// successors that covered its range. It also disables replication and
+	// anti-entropy, which ride the same endpoint triple.
 	DisableHandoff bool
+	// ReplicationFactor is how many ring nodes hold each key: the owner
+	// plus RF-1 successors (default 2; clamped to the node count; 1 turns
+	// replication off; negative is a configuration error). Fresh results
+	// are write-through replicated after each batch, and the anti-entropy
+	// round repairs whatever the write-through missed — so a permanently
+	// lost node's keys are re-served by its replica at hit rate instead of
+	// re-simulated at cold rate.
+	ReplicationFactor int
+	// AntiEntropyInterval paces the background anti-entropy round (default
+	// 1m; negative disables the loop — antiEntropyOnce still works, which
+	// is what tests and operators drive directly).
+	AntiEntropyInterval time.Duration
 	// HandoffChunk bounds how many results travel per fetch/ingest round
 	// trip during a handoff replay (default 256).
 	HandoffChunk int
@@ -58,6 +71,12 @@ type RouterConfig struct {
 func (c *RouterConfig) defaults() {
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = time.Minute
 	}
 	if c.HandoffChunk <= 0 {
 		c.HandoffChunk = 256
@@ -98,18 +117,28 @@ type Router struct {
 	// (warm handoff). Leaf servers count their own ingests; this is the
 	// router-side view of the same transfers.
 	handoffKeys atomic.Uint64
+	// replicaKeys counts entries this router copied onto ring replicas —
+	// write-through after a miss-fill plus anti-entropy repairs. Like
+	// handoffKeys, a parallel ledger: replication serves no candidate.
+	replicaKeys atomic.Uint64
+	// aeRounds counts completed anti-entropy rounds.
+	aeRounds atomic.Uint64
 
 	// tel is the routing-tier instrument panel (nil when disabled):
 	// per-outcome batch histograms, per-node dispatch histograms, and the
 	// router's own trace ring. Telemetry here is per-batch/per-sub-batch
 	// only — the router does no per-candidate timing.
-	tel       *telemetry
-	rtBatch   map[string]*obs.Histogram // outcome → batch duration
-	rtSplit   *obs.Histogram
-	rtReroute *obs.Histogram
+	tel         *telemetry
+	rtBatch     map[string]*obs.Histogram // outcome → batch duration
+	rtSplit     *obs.Histogram
+	rtReroute   *obs.Histogram
+	rtReplicate *obs.Histogram
+	rtAntiEnt   *obs.Histogram
 
-	stopProbe context.CancelFunc
-	probeWG   sync.WaitGroup
+	// stopBG cancels the background goroutines (health prober, anti-entropy
+	// loop); bg tracks them plus the per-node probe goroutines.
+	stopBG context.CancelFunc
+	bg     sync.WaitGroup
 }
 
 // routerNode is one backend in the ring with its liveness state.
@@ -182,7 +211,13 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 	if len(ids) != len(backends) {
 		return nil, fmt.Errorf("service: router got %d ids for %d backends", len(ids), len(backends))
 	}
+	if cfg.ReplicationFactor < 0 {
+		return nil, fmt.Errorf("service: ReplicationFactor must be >= 0, got %d", cfg.ReplicationFactor)
+	}
 	cfg.defaults()
+	if cfg.ReplicationFactor > len(ids) {
+		cfg.ReplicationFactor = len(ids)
+	}
 	rt := &Router{
 		cfg:   cfg,
 		ring:  newRing(ids, cfg.Replicas),
@@ -197,6 +232,8 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 		}
 		rt.rtSplit = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageSplit))
 		rt.rtReroute = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageReroute))
+		rt.rtReplicate = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageReplicate))
+		rt.rtAntiEnt = rt.tel.m.Histogram(metricStage, obs.Labels("stage", stageAntiEnt))
 	}
 	for i := range ids {
 		rt.nodes[i] = &routerNode{id: ids[i], backend: backends[i]}
@@ -205,23 +242,42 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 			rt.nodes[i].dispatch = rt.tel.m.Histogram(metricRtDisp, obs.Labels("node", ids[i]))
 		}
 	}
+	// The lifecycle context outlives any single request: the prober and the
+	// anti-entropy loop both run under it, and Close cancels it. It exists
+	// even when both loops are configured off, so Close is always safe.
+	lifeCtx, cancel := context.WithCancel(context.Background())
+	rt.stopBG = cancel
 	if cfg.ProbeInterval > 0 {
-		probeCtx, cancel := context.WithCancel(context.Background())
-		rt.stopProbe = cancel
-		rt.probeWG.Add(1)
+		rt.bg.Add(1)
 		go func() {
-			defer rt.probeWG.Done()
+			defer rt.bg.Done()
 			tick := time.NewTicker(cfg.ProbeInterval)
 			defer tick.Stop()
 			for {
 				select {
-				case <-probeCtx.Done():
+				case <-lifeCtx.Done():
 					return
 				case <-tick.C:
 					// Fire-and-track: a slow rejoin replay on one node must
 					// not delay liveness updates for the others, so rounds
 					// may overlap (per-node replays stay single-flight).
-					rt.probe(probeCtx)
+					rt.probe(lifeCtx)
+				}
+			}
+		}()
+	}
+	if cfg.AntiEntropyInterval > 0 && rt.replicationEnabled() {
+		rt.bg.Add(1)
+		go func() {
+			defer rt.bg.Done()
+			tick := time.NewTicker(cfg.AntiEntropyInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-lifeCtx.Done():
+					return
+				case <-tick.C:
+					rt.antiEntropyOnce(lifeCtx)
 				}
 			}
 		}()
@@ -229,13 +285,14 @@ func NewRouterBackends(ids []string, backends []Backend, cfg RouterConfig) (*Rou
 	return rt, nil
 }
 
-// Close stops the background health probe. The router remains usable (nodes
-// just no longer recover automatically).
+// Close stops the background goroutines (health probe, anti-entropy loop).
+// The router remains usable — nodes just no longer recover automatically and
+// replica gaps are no longer repaired on a timer.
 func (rt *Router) Close() {
-	if rt.stopProbe != nil {
-		rt.stopProbe()
-		rt.probeWG.Wait()
-		rt.stopProbe = nil
+	if rt.stopBG != nil {
+		rt.stopBG()
+		rt.bg.Wait()
+		rt.stopBG = nil
 	}
 }
 
@@ -266,10 +323,10 @@ func (rt *Router) probe(ctx context.Context) *sync.WaitGroup {
 	wg := new(sync.WaitGroup)
 	for i, n := range rt.nodes {
 		wg.Add(1)
-		rt.probeWG.Add(1)
+		rt.bg.Add(1)
 		go func(i int, n *routerNode) {
 			defer wg.Done()
-			defer rt.probeWG.Done()
+			defer rt.bg.Done()
 			probeCtx, cancel := context.WithTimeout(ctx, timeout)
 			st, err := n.backend.Statusz(probeCtx)
 			cancel()
@@ -415,6 +472,193 @@ func (rt *Router) handoffSweep(ctx context.Context, idx int, target HandoffBacke
 	return found, true
 }
 
+// replicationEnabled reports whether the ring keeps multiple copies of each
+// key. Replication rides the handoff endpoint triple, so DisableHandoff
+// turns it off too, and a single-node ring has nowhere to replicate to.
+func (rt *Router) replicationEnabled() bool {
+	return rt.cfg.ReplicationFactor > 1 && !rt.cfg.DisableHandoff && len(rt.nodes) > 1
+}
+
+// liveReplicas returns the first ReplicationFactor live nodes on k's
+// successor walk (index 0 is the owner when it is up). Computing the replica
+// set against liveness — not fixed ring positions — is what makes the scheme
+// self-healing: when a node is permanently lost, the walk extends past it
+// and the next live successor inherits replica duty for its range.
+func (rt *Router) liveReplicas(k Key) []int {
+	out := make([]int, 0, rt.cfg.ReplicationFactor)
+	for _, n := range rt.ring.successors(k) {
+		if !rt.nodes[n].up.Load() {
+			continue
+		}
+		out = append(out, n)
+		if len(out) == rt.cfg.ReplicationFactor {
+			break
+		}
+	}
+	return out
+}
+
+// pushEntries ingests each target's entries in HandoffChunk-sized rounds,
+// crediting replicaKeys with what the targets report as new. Errors are
+// tolerated per target — a replica that cannot take its copy right now is
+// repaired by a later anti-entropy round, never retried inline.
+func (rt *Router) pushEntries(ctx context.Context, byTarget map[int][]Entry) int {
+	moved := 0
+	for j, entries := range byTarget {
+		tb, ok := rt.nodes[j].backend.(HandoffBackend)
+		if !ok {
+			continue
+		}
+		for start := 0; start < len(entries); start += rt.cfg.HandoffChunk {
+			end := start + rt.cfg.HandoffChunk
+			if end > len(entries) {
+				end = len(entries)
+			}
+			n, err := tb.Ingest(ctx, entries[start:end])
+			if err != nil {
+				break // this replica is struggling; anti-entropy catches it up
+			}
+			moved += n
+			rt.replicaKeys.Add(uint64(n))
+		}
+	}
+	return moved
+}
+
+// replicateFresh write-through-replicates a batch's freshly computed results
+// (miss-fills, never cache hits) onto each key's other live replicas. It runs
+// synchronously at the end of Simulate — by the time a batch returns, its
+// results are already on ReplicationFactor nodes, so statusz reconciliation
+// across the fleet never observes replication in flight. The copies land via
+// /v1/ingest, which skips keys the replica already holds, so replaying a key
+// is always safe.
+func (rt *Router) replicateFresh(ctx context.Context, keys []Key, results []Result, servedBy []int) {
+	if !rt.replicationEnabled() {
+		return
+	}
+	var r0 time.Time
+	if rt.tel != nil {
+		r0 = time.Now()
+	}
+	byTarget := make(map[int][]Entry)
+	seen := make(map[Key]bool, len(keys))
+	for i, k := range keys {
+		if servedBy[i] < 0 || results[i].CacheHit || seen[k] {
+			continue
+		}
+		seen[k] = true
+		for _, j := range rt.liveReplicas(k) {
+			if j == servedBy[i] {
+				continue
+			}
+			byTarget[j] = append(byTarget[j], Entry{Key: k, Result: results[i]})
+		}
+	}
+	if len(byTarget) == 0 {
+		return
+	}
+	rt.pushEntries(ctx, byTarget)
+	if rt.tel != nil {
+		rt.rtReplicate.Observe(time.Since(r0))
+	}
+}
+
+// antiEntropyOnce runs one anti-entropy round: diff the live nodes' key
+// inventories (/v1/keys) against each key's replica set and copy every
+// missing entry from a node that holds it. The round is the repair path for
+// everything write-through cannot cover — a replica that was down when its
+// copy was pushed, a node permanently lost with its disk, a fleet whose
+// ReplicationFactor was just raised. Returns how many entries moved, so
+// callers can loop until a round moves nothing (convergence). Safe to run
+// concurrently with serving: ingest is idempotent and never evicts.
+func (rt *Router) antiEntropyOnce(ctx context.Context) int {
+	if !rt.replicationEnabled() {
+		return 0
+	}
+	var a0 time.Time
+	if rt.tel != nil {
+		a0 = time.Now()
+	}
+	// Inventory every live node with a handoff surface, in parallel.
+	invs := make([][]Key, len(rt.nodes))
+	participating := make([]bool, len(rt.nodes))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodes {
+		hb, ok := n.backend.(HandoffBackend)
+		if !ok || !n.up.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, hb HandoffBackend) {
+			defer wg.Done()
+			keys, err := hb.Keys(ctx, 0, ^uint64(0))
+			if err != nil {
+				return // skip this node this round; the next round retries
+			}
+			invs[i] = keys
+			participating[i] = true
+		}(i, hb)
+	}
+	wg.Wait()
+
+	has := make([]map[Key]bool, len(rt.nodes))
+	for i := range rt.nodes {
+		if !participating[i] {
+			continue
+		}
+		has[i] = make(map[Key]bool, len(invs[i]))
+		for _, k := range invs[i] {
+			has[i][k] = true
+		}
+	}
+	// For every key anywhere in the fleet, find the replicas that lack it.
+	// The first node seen holding a key sources every pull for it (seen
+	// dedupes, so each key is planned exactly once per round).
+	type pullPair struct{ target, source int }
+	pulls := make(map[pullPair][]Key)
+	seen := make(map[Key]bool)
+	for i := range rt.nodes {
+		if !participating[i] {
+			continue
+		}
+		for _, k := range invs[i] {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			for _, j := range rt.liveReplicas(k) {
+				if j == i || !participating[j] || has[j][k] {
+					continue
+				}
+				pulls[pullPair{target: j, source: i}] = append(pulls[pullPair{target: j, source: i}], k)
+			}
+		}
+	}
+	moved := 0
+	for pair, want := range pulls {
+		src, ok := rt.nodes[pair.source].backend.(HandoffBackend)
+		if !ok {
+			continue
+		}
+		for start := 0; start < len(want); start += rt.cfg.HandoffChunk {
+			end := start + rt.cfg.HandoffChunk
+			if end > len(want) {
+				end = len(want)
+			}
+			entries, err := src.Fetch(ctx, want[start:end])
+			if err != nil {
+				break // source faltered; the next round replans
+			}
+			moved += rt.pushEntries(ctx, map[int][]Entry{pair.target: entries})
+		}
+	}
+	rt.aeRounds.Add(1)
+	if rt.tel != nil {
+		rt.rtAntiEnt.Observe(time.Since(a0))
+	}
+	return moved
+}
+
 // Simulate implements Backend: split the batch by ring owner, fan sub-batches
 // out to the owning nodes, re-assemble index-aligned. Node faults re-route
 // the failed sub-batch to each key's ring successors; request defects (4xx)
@@ -479,6 +723,13 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	}
 
 	results := make([]Result, len(req.Candidates))
+	// servedBy records which node produced each result so the write-through
+	// replication pass can copy fresh results to the other replicas without
+	// re-ingesting into the node that just computed them.
+	servedBy := make([]int, len(req.Candidates))
+	for i := range servedBy {
+		servedBy[i] = -1
+	}
 	// excluded marks nodes that declined THIS batch while staying healthy:
 	// a 501 (arch not served there) or a 429 (admission gate full). Both
 	// stay in rotation for other traffic, but this batch's keys must route
@@ -580,6 +831,7 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 			case o.err == nil:
 				for j, i := range o.idx {
 					results[i] = o.resp.Results[j]
+					servedBy[i] = o.node
 				}
 				rt.nodes[o.node].candidates.Add(uint64(len(o.idx)))
 			case ctx.Err() != nil:
@@ -626,6 +878,11 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 		}
 		remaining = retry
 	}
+	// Write-through: before the batch returns, its miss-fills are copied to
+	// their other live replicas. Synchronous on purpose — fleet-wide counters
+	// reconcile at every instant, and a node lost the moment after a batch
+	// completes has already been covered.
+	rt.replicateFresh(ctx, keys, results, servedBy)
 	finish("ok", nil)
 	return &SimulateResponse{Results: results}, nil
 }
@@ -637,11 +894,13 @@ func (rt *Router) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 // summed (their counters are unknowable, not zero).
 func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 	agg := &Statusz{
-		UptimeSec:   time.Since(rt.start).Seconds(),
-		Requests:    rt.requests.Load(),
-		Candidates:  rt.candidates.Load(),
-		Rerouted:    rt.rerouted.Load(),
-		HandoffKeys: rt.handoffKeys.Load(),
+		UptimeSec:         time.Since(rt.start).Seconds(),
+		Requests:          rt.requests.Load(),
+		Candidates:        rt.candidates.Load(),
+		Rerouted:          rt.rerouted.Load(),
+		HandoffKeys:       rt.handoffKeys.Load(),
+		ReplicaKeys:       rt.replicaKeys.Load(),
+		AntiEntropyRounds: rt.aeRounds.Load(),
 	}
 	type nodeStatusz struct {
 		st  *Statusz
@@ -675,6 +934,9 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 			agg.CacheEntries += st.CacheEntries
 			agg.CacheDiskHits += st.CacheDiskHits
 			agg.CacheDiskEntries += st.CacheDiskEntries
+			agg.CacheResident += st.CacheResident
+			agg.CacheEvictions += st.CacheEvictions
+			agg.StoreCompactions += st.StoreCompactions
 			for _, sh := range st.Shards {
 				m, ok := shardByArch[sh.Arch]
 				if !ok {
@@ -718,6 +980,8 @@ func (rt *Router) MetricsSnapshot(ctx context.Context) (*obs.MetricsSnapshot, er
 	counter("simtune_router_candidates_total", rt.candidates.Load())
 	counter("simtune_router_rerouted_total", rt.rerouted.Load())
 	counter("simtune_router_handoff_keys_total", rt.handoffKeys.Load())
+	counter("simtune_router_replica_keys_total", rt.replicaKeys.Load())
+	counter("simtune_router_antientropy_rounds_total", rt.aeRounds.Load())
 	snap.Gauges = append(snap.Gauges, obs.RuntimeGauges()...)
 
 	polled := make([]*obs.MetricsSnapshot, len(rt.nodes))

@@ -23,7 +23,9 @@ func threeNodeRouter(t testing.TB, n int) (*Router, []*Server) {
 		ids[i] = "node-" + string(rune('a'+i))
 		backends[i] = servers[i]
 	}
-	rt, err := NewRouterBackends(ids, backends, RouterConfig{ProbeInterval: -1})
+	// ReplicationFactor 1: these tests pin the single-copy sharding contract
+	// (each key on exactly its ring owner); replication has its own tests.
+	rt, err := NewRouterBackends(ids, backends, RouterConfig{ProbeInterval: -1, ReplicationFactor: 1})
 	if err != nil {
 		panic(err)
 	}

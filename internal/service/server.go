@@ -63,6 +63,9 @@ type Server struct {
 // previously computed corpus as cache hits; the only error paths are
 // store-related (unwritable directory, unopenable segments).
 func NewServer(cfg Config) (*Server, error) {
+	if cfg.MaxResidentResults < 0 {
+		return nil, fmt.Errorf("service: MaxResidentResults must be >= 0, got %d", cfg.MaxResidentResults)
+	}
 	cfg.defaults()
 	tel := newTelemetry(cfg.DisableTelemetry, cfg.TraceRingSize, cfg.SlowBatchThreshold, cfg.Archs)
 	var disk *Store
@@ -70,7 +73,8 @@ func NewServer(cfg Config) (*Server, error) {
 		var err error
 		disk, err = OpenStore(cfg.CacheDir, StoreOptions{
 			MaxSegmentBytes: cfg.CacheSegmentBytes, WrapFile: cfg.StoreWrapFile,
-			WriteHist: tel.storeWriteHist(),
+			WriteHist:   tel.storeWriteHist(),
+			CompactHist: tel.storeCompactHist(),
 		})
 		if err != nil {
 			return nil, err
@@ -79,7 +83,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		shards: make(map[isa.Arch]*shard, len(cfg.Archs)),
-		cache:  newResultCache(cfg.CacheCapacity, disk),
+		cache:  newResultCache(cfg.MaxResidentResults, disk),
 		disk:   disk,
 		start:  time.Now(),
 		admit:  admission{max: int64(cfg.MaxQueuedCandidates)},
@@ -324,11 +328,14 @@ func (s *Server) Statusz(context.Context) (*Statusz, error) {
 		CacheCanceled:      s.cache.canceled.Load(),
 		CacheEntries:       s.cache.len(),
 		CacheDiskHits:      s.cache.diskHits.Load(),
+		CacheEvictions:     s.cache.evictions.Load(),
 		HandoffKeys:        s.cache.handoffKeys.Load(),
 	}
+	st.CacheResident = st.CacheEntries
 	if s.disk != nil {
 		st.CacheDiskEntries = s.disk.Len()
 		st.StoreLiveBytes, st.StoreTotalBytes = s.disk.Bytes()
+		st.StoreCompactions = s.disk.Compactions()
 	}
 	for _, arch := range s.cfg.Archs {
 		st.Shards = append(st.Shards, s.shards[arch].status())
@@ -358,9 +365,11 @@ func (s *Server) MetricsSnapshot(context.Context) (*obs.MetricsSnapshot, error) 
 	counter("simtune_cache_misses_total", "", s.cache.misses.Load())
 	counter("simtune_cache_canceled_total", "", s.cache.canceled.Load())
 	counter("simtune_cache_disk_hits_total", "", s.cache.diskHits.Load())
+	counter("simtune_cache_evictions_total", "", s.cache.evictions.Load())
 	counter("simtune_handoff_keys_total", "", s.cache.handoffKeys.Load())
 	gauge("simtune_admitted_candidates", "", float64(s.admit.cur.Load()))
 	gauge("simtune_cache_entries", "", float64(s.cache.len()))
+	gauge("simtune_cache_resident", "", float64(s.cache.len()))
 	for _, arch := range s.cfg.Archs {
 		sh := s.shards[arch]
 		l := obs.Labels("arch", string(arch))
@@ -373,6 +382,7 @@ func (s *Server) MetricsSnapshot(context.Context) (*obs.MetricsSnapshot, error) 
 		gauge("simtune_cache_disk_entries", "", float64(s.disk.Len()))
 		gauge("simtune_store_live_bytes", "", float64(live))
 		gauge("simtune_store_total_bytes", "", float64(total))
+		counter("simtune_store_compactions_total", "", s.disk.Compactions())
 	}
 	snap.Gauges = append(snap.Gauges, obs.RuntimeGauges()...)
 	return snap, nil

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -53,6 +54,11 @@ const (
 	// this, bounding the blast radius of a torn tail and giving compaction
 	// whole files to drop.
 	defaultSegmentBytes = 64 << 20
+	// compactMinDeadBytes is the floor of the background-compaction trigger:
+	// a pass starts only once dead bytes exceed both this floor and the live
+	// bytes (so small stores never churn and a pass always at least halves
+	// the on-disk footprint).
+	compactMinDeadBytes = 1 << 20
 )
 
 // StoreFile is the slice of *os.File the store actually uses — the seam the
@@ -82,6 +88,11 @@ type StoreOptions struct {
 	// stage. The appends run on the writer goroutine, so this measures the
 	// durability lag, not anything on the serve path.
 	WriteHist *obs.Histogram
+	// CompactHist, when non-nil, records the latency of every compaction
+	// pass (startup-triggered, background-triggered, or explicit) — the
+	// compact telemetry stage. Compactions run on the writer goroutine, off
+	// the serve path.
+	CompactHist *obs.Histogram
 }
 
 // recordRef locates one live record: segment id, payload offset, payload
@@ -106,11 +117,15 @@ type storeOp struct {
 // needs no locking; mu guards the maps (index, pending, readers) that the
 // concurrent read paths share with it.
 type Store struct {
-	dir       string
-	maxSeg    int64
-	logf      func(format string, args ...any)
-	wrap      func(*os.File) StoreFile
-	writeHist *obs.Histogram // nil: append latency not recorded
+	dir         string
+	maxSeg      int64
+	logf        func(format string, args ...any)
+	wrap        func(*os.File) StoreFile
+	writeHist   *obs.Histogram // nil: append latency not recorded
+	compactHist *obs.Histogram // nil: compaction latency not recorded
+
+	// compactions counts completed compaction passes (statusz surface).
+	compactions atomic.Uint64
 
 	mu         sync.Mutex
 	index      map[Key]recordRef
@@ -148,7 +163,9 @@ func (s *Store) enqueue(op storeOp) bool {
 // OpenStore opens (creating if needed) the durable store in dir, scanning
 // every segment to rebuild the key→offset index. Corrupt segment tails are
 // skipped with a warning; they never fail the open. If the scan finds more
-// dead than live bytes it compacts before serving.
+// dead than live bytes, a compaction pass is queued onto the writer
+// goroutine — the open returns immediately and the store serves reads while
+// the rewrite runs behind it.
 func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = defaultSegmentBytes
@@ -160,15 +177,16 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		return nil, fmt.Errorf("service: store: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		maxSeg:    opts.MaxSegmentBytes,
-		logf:      opts.Logf,
-		wrap:      opts.WrapFile,
-		writeHist: opts.WriteHist,
-		index:     make(map[Key]recordRef),
-		pending:   make(map[Key]Result),
-		readers:   make(map[int]StoreFile),
-		queue:     make(chan storeOp, 1024),
+		dir:         dir,
+		maxSeg:      opts.MaxSegmentBytes,
+		logf:        opts.Logf,
+		wrap:        opts.WrapFile,
+		writeHist:   opts.WriteHist,
+		compactHist: opts.CompactHist,
+		index:       make(map[Key]recordRef),
+		pending:     make(map[Key]Result),
+		readers:     make(map[int]StoreFile),
+		queue:       make(chan storeOp, 1024),
 	}
 	ids, err := s.segmentIDs()
 	if err != nil {
@@ -188,15 +206,29 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if err := s.openActive(maxID + 1); err != nil {
 		return nil, err
 	}
-	if dead := s.totalBytes - s.liveBytes; dead > s.liveBytes && dead > 1<<20 {
-		if err := s.compact(); err != nil {
-			s.logf("service/store: startup compaction failed: %v", err)
-		}
-	}
 	s.wg.Add(1)
 	go s.writer()
+	if s.shouldCompact() {
+		// Queue (don't run) the startup pass: the open path must not block
+		// on a full-log rewrite. The queue is empty and buffered, so this
+		// cannot block either; the buffered ack is deliberately unread.
+		ack := make(chan error, 1)
+		s.enqueue(storeOp{compact: ack})
+	}
 	return s, nil
 }
+
+// shouldCompact reports whether dead bytes justify a compaction pass. It
+// takes mu only for the byte counters — never across the pass itself.
+func (s *Store) shouldCompact() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dead := s.totalBytes - s.liveBytes
+	return dead > compactMinDeadBytes && dead > s.liveBytes
+}
+
+// Compactions reports how many compaction passes have completed.
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
 
 // segmentIDs lists existing segment ids in ascending order.
 func (s *Store) segmentIDs() ([]int, error) {
@@ -484,7 +516,7 @@ func (s *Store) writer() {
 			continue
 		}
 		if op.compact != nil {
-			op.compact <- s.compact()
+			op.compact <- s.runCompact()
 			continue
 		}
 		var a0 time.Time
@@ -500,8 +532,35 @@ func (s *Store) writer() {
 			s.mu.Lock()
 			delete(s.pending, op.key)
 			s.mu.Unlock()
+			continue
+		}
+		if s.shouldCompact() {
+			// Run the pass directly: the writer must never enqueue onto its
+			// own queue (it is the sole drainer — a full queue would
+			// deadlock). Appends queued meanwhile just wait; the serve path
+			// never does, it only enqueues.
+			if cerr := s.runCompact(); cerr != nil {
+				s.logf("service/store: background compaction: %v", cerr)
+			}
 		}
 	}
+}
+
+// runCompact is the timed, counted wrapper every compaction path (startup
+// queue, dead-bytes trigger, explicit Compact) goes through.
+func (s *Store) runCompact() error {
+	var c0 time.Time
+	if s.compactHist != nil {
+		c0 = time.Now()
+	}
+	err := s.compact()
+	if s.compactHist != nil {
+		s.compactHist.Observe(time.Since(c0))
+	}
+	if err == nil {
+		s.compactions.Add(1)
+	}
+	return err
 }
 
 // append encodes and writes one record, then publishes it to the index.
@@ -575,10 +634,9 @@ func (s *Store) Compact() error {
 	return <-ack
 }
 
-// compact does the rewrite. It must run on the writer goroutine (or the
-// single-threaded Open path): that is what guarantees no append mutates
-// the segments mid-pass, which lets the bulk copy proceed without holding
-// mu. Concurrent Get/ReadAt on the old segments is safe — they are not
+// compact does the rewrite. It must run on the writer goroutine: that is
+// what guarantees no append mutates the segments mid-pass, which lets the
+// bulk copy proceed without holding mu. Concurrent Get/ReadAt on the old segments is safe — they are not
 // closed or removed until the swap, which happens under mu.
 func (s *Store) compact() error {
 	// Phase 1 (under mu): snapshot the live layout.

@@ -403,3 +403,84 @@ func TestStoreKeysRange(t *testing.T) {
 		t.Fatalf("wrapping full range lists %d keys, want %d", len(wrapped), n)
 	}
 }
+
+// TestBackgroundCompactionTriggersOffOpenPath: a log carrying well over the
+// dead-bytes threshold compacts on the writer goroutine after open — with
+// no Compact() call and no blocking of the open path — while every live key
+// stays servable throughout. A log below the threshold must not trigger.
+func TestBackgroundCompactionTriggersOffOpenPath(t *testing.T) {
+	dir := t.TempDir()
+	const n, rounds = 32, 10
+	// Hand-write a segment whose records are duplicated rounds times with a
+	// payload fat enough that the dead share clears compactMinDeadBytes.
+	fat := Result{Err: strings.Repeat("x", 4<<10)}
+	body, err := json.Marshal(fat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	buf = append(buf, storeMagic...)
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			buf = append(buf, encodeRecord(testKey(i), body)...)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := diskBytes(t, dir)
+
+	s, _ := openTestStore(t, dir, StoreOptions{})
+	// The open path queued — did not run — the pass: the store serves now.
+	if got := s.Len(); got != n {
+		t.Fatalf("indexed %d keys, want %d", got, n)
+	}
+	if r, ok := s.Get(testKey(3)); !ok || r.Err != fat.Err {
+		t.Fatalf("Get(3) during pending compaction: ok=%v", ok)
+	}
+	// The writer goroutine runs the queued pass; Flush is the barrier that
+	// proves the queue (compact op included) drained.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Compactions(); got != 1 {
+		t.Fatalf("background compactions = %d, want 1", got)
+	}
+	if after := diskBytes(t, dir); after >= before {
+		t.Fatalf("background compaction did not shrink the log: %d -> %d bytes", before, after)
+	}
+	for i := 0; i < n; i++ {
+		if r, ok := s.Get(testKey(i)); !ok || r.Err != fat.Err {
+			t.Fatalf("background compaction lost key %d (ok=%v)", i, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Below threshold: duplicates exist but dead bytes are tiny — the
+	// trigger must hold its fire (the threshold exists to stop churn).
+	dir2 := t.TempDir()
+	small, _ := json.Marshal(testResult(1))
+	var buf2 []byte
+	buf2 = append(buf2, storeMagic...)
+	for round := 0; round < 3; round++ {
+		buf2 = append(buf2, encodeRecord(testKey(1), small)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "seg-00000001.log"), buf2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := openTestStore(t, dir2, StoreOptions{})
+	if s2.shouldCompact() {
+		t.Fatal("a few KB of dead bytes must not trigger compaction")
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Compactions(); got != 0 {
+		t.Fatalf("below-threshold store compacted %d times", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

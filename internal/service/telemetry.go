@@ -15,9 +15,13 @@ import (
 // shard slot and pay simulate, warm ones are served by cache_lookup (RAM),
 // disk_hit (durable store) or singleflight_wait (another caller's flight),
 // computed results drain through store_write behind the serve path, and the
-// HTTP layer pays encode on the way out. Router-tier spans: split (key
+// HTTP layer pays encode on the way out. Bounded-memory bookkeeping shows up
+// as evict (ARC demotion on the fill path) and compact (background segment
+// rewrite on the store's writer goroutine). Router-tier spans: split (key
 // hashing + ring grouping), dispatch (one sub-batch round trip to a node),
-// reroute (a failover round re-grouping).
+// reroute (a failover round re-grouping), replicate (write-through fan-out of
+// fresh results to ring replicas), antientropy (one replica-diff repair
+// round).
 const (
 	metricStage     = "simtune_stage_duration_seconds"
 	metricServe     = "simtune_candidate_serve_seconds"
@@ -32,9 +36,13 @@ const (
 	stageSimulate   = "simulate"
 	stageStoreWrite = "store_write"
 	stageEncode     = "encode"
+	stageEvict      = "evict"
+	stageCompact    = "compact"
 	stageSplit      = "split"
 	stageDispatch   = "dispatch"
 	stageReroute    = "reroute"
+	stageReplicate  = "replicate"
+	stageAntiEnt    = "antientropy"
 )
 
 // Candidate serve outcomes (the per-outcome latency partition; rejected
@@ -57,9 +65,10 @@ type telemetry struct {
 	slow   time.Duration
 	logf   func(format string, args ...any)
 
-	encode     *obs.Histogram
-	storeWrite *obs.Histogram
-	arch       map[isa.Arch]*archTel
+	encode       *obs.Histogram
+	storeWrite   *obs.Histogram
+	storeCompact *obs.Histogram
+	arch         map[isa.Arch]*archTel
 }
 
 // archTel pre-registers one architecture's hot-path histograms so workers
@@ -71,6 +80,7 @@ type archTel struct {
 	diskHit   *obs.Histogram
 	sfWait    *obs.Histogram
 	simulate  *obs.Histogram
+	evict     *obs.Histogram
 
 	serveHit, serveDiskHit, serveMiss, serveCanceled *obs.Histogram
 
@@ -93,6 +103,7 @@ func newTelemetry(disabled bool, ringSize int, slow time.Duration, archs []isa.A
 	}
 	t.encode = t.m.Histogram(metricStage, obs.Labels("stage", stageEncode))
 	t.storeWrite = t.m.Histogram(metricStage, obs.Labels("stage", stageStoreWrite))
+	t.storeCompact = t.m.Histogram(metricStage, obs.Labels("stage", stageCompact))
 	for _, a := range archs {
 		as := string(a)
 		stage := func(s string) *obs.Histogram {
@@ -111,6 +122,7 @@ func newTelemetry(disabled bool, ringSize int, slow time.Duration, archs []isa.A
 			diskHit:   stage(stageDiskHit),
 			sfWait:    stage(stageSFWait),
 			simulate:  stage(stageSimulate),
+			evict:     stage(stageEvict),
 
 			serveHit:      serve(outcomeHit),
 			serveDiskHit:  serve(outcomeDiskHit),
@@ -202,6 +214,15 @@ func (t *telemetry) storeWriteHist() *obs.Histogram {
 	return t.storeWrite
 }
 
+// storeCompactHist hands the durable store its compaction-latency histogram
+// (nil when telemetry is off — the store then records nothing).
+func (t *telemetry) storeCompactHist() *obs.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.storeCompact
+}
+
 // candTimings collects one candidate's cold-path stage durations as it moves
 // through resultCache.do and shard.exec. A nil *candTimings disables
 // measurement entirely — the telemetry-off hot path takes no extra clock
@@ -214,6 +235,8 @@ type candTimings struct {
 	queueWait time.Duration // waited for a shard worker slot
 	simulate  time.Duration // build + simulate on the slot
 	simulated bool
+	evict     time.Duration // ARC bookkeeping on a fill that evicted
+	evicted   bool
 }
 
 // stageAgg accumulates one stage's events across a batch's workers so the
@@ -236,7 +259,7 @@ func (a *stageAgg) span(tr *obs.ActiveTrace, stage string, start time.Time) {
 // batchAgg is a batch's per-stage aggregation, filled concurrently by the
 // workers and emitted as at most one span per stage when the batch seals.
 type batchAgg struct {
-	cacheHit, diskHit, sfWait, queueWait, simulate stageAgg
+	cacheHit, diskHit, sfWait, queueWait, simulate, evict stageAgg
 }
 
 func (g *batchAgg) emit(tr *obs.ActiveTrace, start time.Time) {
@@ -248,6 +271,7 @@ func (g *batchAgg) emit(tr *obs.ActiveTrace, start time.Time) {
 	g.sfWait.span(tr, stageSFWait, start)
 	g.queueWait.span(tr, stageQueueWait, start)
 	g.simulate.span(tr, stageSimulate, start)
+	g.evict.span(tr, stageEvict, start)
 }
 
 // record folds one served candidate into the per-arch histograms and the
@@ -280,6 +304,10 @@ func (at *archTel) record(agg *batchAgg, tm *candTimings, total time.Duration, h
 	if tm.simulated {
 		at.simulate.Observe(tm.simulate)
 		agg.simulate.add(tm.simulate)
+	}
+	if tm.evicted {
+		at.evict.Observe(tm.evict)
+		agg.evict.add(tm.evict)
 	}
 }
 
