@@ -12,6 +12,7 @@ package simtune_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -398,7 +399,20 @@ func BenchmarkRouterThroughput(b *testing.B) {
 	ctx := context.Background()
 
 	hitPath := func(b *testing.B, backend service.Backend) {
-		if _, err := backend.Simulate(ctx, req); err != nil { // prime every owner
+		prime, err := backend.Simulate(ctx, req) // prime every owner
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Wire cost per candidate: what one round trip of this batch would
+		// move as JSON at the HTTP tier the in-process backends elide.
+		// Encoded outside the timed loop so the metric rides along without
+		// perturbing cand/s.
+		reqBytes, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		respBytes, err := json.Marshal(prime)
+		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
@@ -415,6 +429,7 @@ func BenchmarkRouterThroughput(b *testing.B) {
 			}
 		})
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cand/s")
+		b.ReportMetric(float64(len(reqBytes)+len(respBytes))/batch, "wire-B/cand")
 	}
 	cfgOff := cfg
 	cfgOff.DisableTelemetry = true

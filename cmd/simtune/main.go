@@ -13,6 +13,7 @@
 //	simtune serve -addr :8070 -workers 8
 //	simtune route -addr :8060 -nodes http://sim-0:8070,http://sim-1:8070,http://sim-2:8070
 //	simtune -arch riscv -group 3 -trials 200 -runner sim -server http://tuner-farm:8060
+//	simtune loadgen -seed 1 -steps 0.5,1,2 -report BENCH_10.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +58,7 @@ func serve(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "durable result store directory; a restarted server recovers its computed corpus from the segment log here (empty = memory only)")
 	segBytes := fs.Int64("cache-seg-bytes", 0, "store segment rotation size in bytes (default 64 MB)")
 	maxQueued := fs.Int("max-queued", 0, "admission bound: candidates held (queued+running) before new batches get 429 + Retry-After (default 65536)")
+	tenantWeights := fs.String("tenant-weights", "", "fair-share weights for the admission gate, e.g. 'ci=3,adhoc=1' (unlisted tenants weigh 1)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-drain budget after SIGINT/SIGTERM: how long in-flight batches may finish before hard cancel (default 30s)")
 	slowBatch := fs.Duration("slow-batch", 0, "log a structured slow-batch line for batches slower than this (0 = off)")
 	traceRing := fs.Int("trace-ring", 0, "batch traces retained for GET /v1/traces (default 256, negative disables tracing)")
@@ -72,10 +75,14 @@ func serve(args []string) error {
 		}
 		archs = append(archs, arch)
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 	srv, err := service.NewServer(service.Config{
 		Archs: archs, WorkersPerArch: *workers, CacheCapacity: *cacheCap,
-		MaxResidentResults: *maxResident,
-		CacheDir:           *cacheDir, CacheSegmentBytes: *segBytes,
+		MaxResidentResults: *maxResident, TenantWeights: weights,
+		CacheDir: *cacheDir, CacheSegmentBytes: *segBytes,
 		MaxQueuedCandidates: *maxQueued, DrainTimeout: *drainTimeout,
 		SlowBatchThreshold: *slowBatch, TraceRingSize: *traceRing,
 		EnablePprof: *pprofFlag, DisableTelemetry: *noTel,
@@ -106,6 +113,27 @@ func serve(args []string) error {
 		fmt.Println("simtune serve: drained and stopped")
 	}
 	return serveErr
+}
+
+// parseTenantWeights parses a 'name=weight,name=weight' flag value into the
+// admission gate's fair-share map (nil when empty: every tenant weighs 1).
+func parseTenantWeights(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]float64)
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found || name == "" {
+			return nil, fmt.Errorf("-tenant-weights: %q wants name=weight", kv)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenant-weights: %q wants a positive weight", kv)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // route runs the consistent-hash routing tier over N simulate servers until
@@ -164,6 +192,9 @@ func run() error {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "route" {
 		return route(os.Args[2:])
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		return loadgenCmd(os.Args[2:])
 	}
 	archFlag := flag.String("arch", "riscv", "target architecture: x86|arm|riscv")
 	scaleFlag := flag.String("scale", "small", "workload scale: tiny|small|paper")

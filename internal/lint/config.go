@@ -30,6 +30,15 @@ func DefaultAnalyzers() []*Analyzer {
 				// clock read (pinned by the hotmod want-corpus).
 				{Name: "repro/internal/service.resultCache.do"},
 				{Name: "repro/internal/service.resultCache.doTimed"},
+				// Load-generator schedule path (PR 10): the offered-load
+				// trace must be a pure function of the seed, so the plan
+				// builder and the pacing loop ban clocks, formatting and
+				// JSON outright. pace's clock/sleep/dispatch seams are
+				// injected function values — outside the provable call
+				// graph by construction, which is the point: nothing the
+				// loop itself does can read a clock.
+				{Name: "repro/internal/loadgen.BuildPlan", NoLock: true},
+				{Name: "repro/internal/loadgen.pace", NoLock: true},
 			},
 			Stops: []string{
 				// The durable store is the disk tier: a RAM miss that

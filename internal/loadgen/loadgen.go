@@ -1,0 +1,404 @@
+// Package loadgen is the seeded, deterministic traffic generator behind
+// `simtune loadgen`: it drives a simulate fleet (an in-process router, a
+// remote `simtune serve` node or a `simtune route` router — anything
+// implementing service.Backend) with a configurable multi-tenant mix and
+// measures how the service tier holds up under contention.
+//
+// The generator is open-loop: every phase's arrival schedule — which tenant
+// fires when, with how many candidates of which workload — is computed up
+// front as a pure function of the seed (BuildPlan, a hotpath lint root, so
+// no clock read can ever leak into the schedule), and the pacing loop then
+// dispatches each arrival at its precomputed offset regardless of how slowly
+// the service answers. Offered load is therefore independent of service
+// latency, which is what makes saturation measurable at all: a closed-loop
+// client slows down with the server and can never push it past the knee.
+//
+// Two arrival processes are built in: Poisson (exponential inter-arrival
+// times at a mean rate) and bursty on-off (exponential on/off phases with
+// Poisson arrivals during on — the aggressor's shape). Tenants draw batch
+// sizes uniformly from a range and workloads from a weighted family mix over
+// the existing arch/workload corpus; a tenant with Pool > 0 re-offers a
+// bounded set of candidate schedules (cache-hit traffic after warmup), while
+// Pool == 0 tenants offer fresh candidates every time (cold simulation
+// traffic). The identical seed reproduces the identical offered-load trace,
+// byte for byte — Plan.Hash is the checkable witness.
+//
+// Run sweeps the mix over a series of offered-load multipliers, optionally
+// measuring a compliant tenant's solo run first (the aggressor-isolation
+// baseline), and emits a Report: per-tenant latency percentiles vs offered
+// load, reject rates, and the per-tenant + fleet-wide
+// hits+misses+canceled == candidates reconciliation, all from the same
+// mergeable obs histograms and statusz ledgers the service itself exports.
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/service"
+	"repro/internal/te"
+)
+
+// WorkloadChoice is one entry of a tenant's workload-family mix.
+type WorkloadChoice struct {
+	// Weight is the relative draw probability within the tenant's mix.
+	Weight float64 `json:"weight"`
+	// Spec is the workload identity offered. For matmul specs with
+	// DimLo/DimHi set, Spec.Dims is ignored and each arrival draws its
+	// three extents uniformly from [DimLo, DimHi] instead — every batch
+	// then carries a fresh cache key, which is how an aggressor generates
+	// unbounded cold simulation work.
+	Spec service.WorkloadSpec `json:"spec"`
+	// DimLo/DimHi enable the per-arrival matmul dimension draw (matmul
+	// specs only; 0 disables).
+	DimLo int `json:"dim_lo,omitempty"`
+	DimHi int `json:"dim_hi,omitempty"`
+}
+
+// Arrival process kinds.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalOnOff   = "onoff"
+)
+
+// TenantSpec describes one tenant's traffic.
+type TenantSpec struct {
+	// Name is the tenant identity sent as X-Simtune-Tenant.
+	Name string `json:"name"`
+	// Weight is the tenant's fair-share weight in the service admission
+	// gate (informational here; the fleet is configured with the same map).
+	// Default 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Arrival selects the arrival process: ArrivalPoisson (default) or
+	// ArrivalOnOff.
+	Arrival string `json:"arrival,omitempty"`
+	// Rate is the mean batch arrival rate in batches/second — the
+	// steady-state rate for Poisson, the during-burst rate for on-off.
+	Rate float64 `json:"rate"`
+	// OnSec/OffSec are the mean burst and silence lengths in seconds for
+	// ArrivalOnOff (both exponential; defaults 1 and 1).
+	OnSec  float64 `json:"on_sec,omitempty"`
+	OffSec float64 `json:"off_sec,omitempty"`
+	// BatchMin/BatchMax bound the uniform batch-size draw (candidates per
+	// batch). Defaults 1 and 8.
+	BatchMin int `json:"batch_min,omitempty"`
+	BatchMax int `json:"batch_max,omitempty"`
+	// Pool, when > 0, re-offers candidates from a pool of this many
+	// distinct schedules per workload (warmup primes them, after which the
+	// tenant's traffic is cache-hit traffic). 0 offers fresh candidates.
+	Pool int `json:"pool,omitempty"`
+	// Arch is the simulated target (default riscv).
+	Arch string `json:"arch,omitempty"`
+	// Workloads is the weighted workload-family mix (default: conv_group
+	// tiny group 1).
+	Workloads []WorkloadChoice `json:"workloads,omitempty"`
+}
+
+// IsolationSpec names the tenant pair of the aggressor-isolation experiment:
+// Compliant is measured solo before the sweep, and the report compares its
+// contended p99 against that baseline while Aggressor absorbs the 429s.
+type IsolationSpec struct {
+	Compliant string `json:"compliant"`
+	Aggressor string `json:"aggressor"`
+}
+
+// Config is one loadgen run.
+type Config struct {
+	// Seed derives every arrival schedule; the identical seed reproduces
+	// the identical offered-load trace (Report.TraceSHA256 is the witness).
+	Seed uint64 `json:"seed"`
+	// Duration is the offered-load window per phase.
+	Duration time.Duration `json:"duration_ns"`
+	// Steps are the offered-load multipliers swept over the tenant mix
+	// (each tenant's Rate scales by the step). Default {1}.
+	Steps []float64 `json:"steps,omitempty"`
+	// Tenants is the mix.
+	Tenants []TenantSpec `json:"tenants"`
+	// Isolation, when non-nil, adds the solo baseline phase and the
+	// isolation verdict to the report.
+	Isolation *IsolationSpec `json:"isolation,omitempty"`
+}
+
+// defaults normalizes a spec in place.
+func (t *TenantSpec) defaults() {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Arrival == "" {
+		t.Arrival = ArrivalPoisson
+	}
+	if t.OnSec <= 0 {
+		t.OnSec = 1
+	}
+	if t.OffSec <= 0 {
+		t.OffSec = 1
+	}
+	if t.BatchMin <= 0 {
+		t.BatchMin = 1
+	}
+	if t.BatchMax < t.BatchMin {
+		t.BatchMax = t.BatchMin + 7
+	}
+	if t.Arch == "" {
+		t.Arch = string(isa.RISCV)
+	}
+	if len(t.Workloads) == 0 {
+		t.Workloads = []WorkloadChoice{{Weight: 1, Spec: service.ConvGroupSpec(te.ScaleTiny, 1)}}
+	}
+	for i := range t.Workloads {
+		if t.Workloads[i].Weight <= 0 {
+			t.Workloads[i].Weight = 1
+		}
+	}
+}
+
+// Validate normalizes and fully checks the config, so BuildPlan (which must
+// stay formatting-free — it is a hotpath lint root) can assume well-formed
+// inputs and the pacing loop never discovers a bad workload mid-run.
+func (c *Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be positive, got %v", c.Duration)
+	}
+	if len(c.Steps) == 0 {
+		c.Steps = []float64{1}
+	}
+	for _, m := range c.Steps {
+		if m <= 0 {
+			return fmt.Errorf("loadgen: step multiplier must be positive, got %v", m)
+		}
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("loadgen: at least one tenant required")
+	}
+	seen := make(map[string]bool, len(c.Tenants))
+	for i := range c.Tenants {
+		t := &c.Tenants[i]
+		t.defaults()
+		if t.Name == "" || t.Name == service.DefaultTenant {
+			return fmt.Errorf("loadgen: tenant %d: name required (and %q is reserved)", i, service.DefaultTenant)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("loadgen: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Rate <= 0 {
+			return fmt.Errorf("loadgen: tenant %q: rate must be positive, got %v", t.Name, t.Rate)
+		}
+		if t.Arrival != ArrivalPoisson && t.Arrival != ArrivalOnOff {
+			return fmt.Errorf("loadgen: tenant %q: arrival %q (want %s|%s)", t.Name, t.Arrival, ArrivalPoisson, ArrivalOnOff)
+		}
+		if _, err := isa.ParseArch(t.Arch); err != nil {
+			return fmt.Errorf("loadgen: tenant %q: %v", t.Name, err)
+		}
+		for j, w := range t.Workloads {
+			if w.DimLo != 0 || w.DimHi != 0 {
+				if w.Spec.Kind != "matmul" {
+					return fmt.Errorf("loadgen: tenant %q workload %d: dim range needs a matmul spec", t.Name, j)
+				}
+				if w.DimLo < 1 || w.DimHi < w.DimLo {
+					return fmt.Errorf("loadgen: tenant %q workload %d: bad dim range [%d,%d]", t.Name, j, w.DimLo, w.DimHi)
+				}
+				continue // Dims are drawn per arrival; the spec template needs no dims.
+			}
+			if _, err := w.Spec.Factory(); err != nil {
+				return fmt.Errorf("loadgen: tenant %q workload %d: %v", t.Name, j, err)
+			}
+		}
+	}
+	if c.Isolation != nil {
+		if !seen[c.Isolation.Compliant] || !seen[c.Isolation.Aggressor] {
+			return fmt.Errorf("loadgen: isolation pair %q/%q must both be configured tenants",
+				c.Isolation.Compliant, c.Isolation.Aggressor)
+		}
+		if c.Isolation.Compliant == c.Isolation.Aggressor {
+			return fmt.Errorf("loadgen: isolation pair must be two distinct tenants")
+		}
+	}
+	return nil
+}
+
+// TenantWeights renders the mix's fair-share weights in the shape
+// service.Config.TenantWeights wants — what an in-process fleet (and any
+// operator configuring real nodes for this mix) feeds the admission gate.
+func (c *Config) TenantWeights() map[string]float64 {
+	w := make(map[string]float64, len(c.Tenants))
+	for _, t := range c.Tenants {
+		w[t.Name] = t.Weight
+	}
+	return w
+}
+
+// Archs lists the distinct architectures the mix targets.
+func (c *Config) Archs() []isa.Arch {
+	var out []isa.Arch
+	seen := make(map[isa.Arch]bool)
+	for _, t := range c.Tenants {
+		a, err := isa.ParseArch(t.Arch)
+		if err != nil {
+			continue // Validate already rejected it
+		}
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ParseTenants parses the compact CLI tenant-mix syntax: tenants separated
+// by ';', fields by ',', each field 'key=value' (a bare first field is the
+// name). Example:
+//
+//	batch,weight=3,arrival=poisson,rate=40,batch=1-4,pool=32,workload=conv_group:tiny:1;
+//	burst,arrival=onoff,rate=400,on=0.05,off=0.15,batch=4-6,workload=matmul:16-48
+//
+// workload forms: conv_group:<scale>:<group>, matmul:<n>:<l>:<m>, and
+// matmul:<lo>-<hi> (per-arrival dimension draw). Repeat workload= for a
+// weighted mix; prefix a weight as workload=2x<form> (defaults 1).
+func ParseTenants(spec string) ([]TenantSpec, error) {
+	var out []TenantSpec
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		var t TenantSpec
+		for i, f := range strings.Split(raw, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			k, v, found := strings.Cut(f, "=")
+			if !found {
+				if i == 0 {
+					t.Name = f
+					continue
+				}
+				return nil, fmt.Errorf("loadgen: tenant %q: field %q is not key=value", t.Name, f)
+			}
+			var err error
+			switch k {
+			case "name":
+				t.Name = v
+			case "weight":
+				t.Weight, err = strconv.ParseFloat(v, 64)
+			case "arrival":
+				t.Arrival = v
+			case "rate":
+				t.Rate, err = strconv.ParseFloat(v, 64)
+			case "on":
+				t.OnSec, err = strconv.ParseFloat(v, 64)
+			case "off":
+				t.OffSec, err = strconv.ParseFloat(v, 64)
+			case "batch":
+				t.BatchMin, t.BatchMax, err = parseRange(v)
+			case "pool":
+				t.Pool, err = strconv.Atoi(v)
+			case "arch":
+				t.Arch = v
+			case "workload":
+				var wc WorkloadChoice
+				wc, err = parseWorkload(v)
+				if err == nil {
+					t.Workloads = append(t.Workloads, wc)
+				}
+			default:
+				return nil, fmt.Errorf("loadgen: tenant %q: unknown field %q", t.Name, k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: tenant %q: field %q: %v", t.Name, f, err)
+			}
+		}
+		if t.Name == "" {
+			return nil, fmt.Errorf("loadgen: tenant spec %q: name required", raw)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// parseRange parses "lo-hi" (or a single "n" meaning n-n).
+func parseRange(s string) (lo, hi int, err error) {
+	los, his, found := strings.Cut(s, "-")
+	if !found {
+		his = los
+	}
+	if lo, err = strconv.Atoi(los); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.Atoi(his); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// parseWorkload parses one workload= value (see ParseTenants).
+func parseWorkload(s string) (WorkloadChoice, error) {
+	wc := WorkloadChoice{Weight: 1}
+	if x := strings.Index(s, "x"); x > 0 {
+		if w, err := strconv.ParseFloat(s[:x], 64); err == nil && w > 0 {
+			wc.Weight = w
+			s = s[x+1:]
+		}
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "conv_group":
+		if len(parts) != 3 {
+			return wc, fmt.Errorf("want conv_group:<scale>:<group>, got %q", s)
+		}
+		group, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return wc, err
+		}
+		wc.Spec = service.WorkloadSpec{Kind: "conv_group", Scale: parts[1], Group: group}
+		return wc, nil
+	case "matmul":
+		if len(parts) == 2 { // matmul:<lo>-<hi> — per-arrival dim draw
+			lo, hi, err := parseRange(parts[1])
+			if err != nil {
+				return wc, err
+			}
+			wc.Spec = service.WorkloadSpec{Kind: "matmul"}
+			wc.DimLo, wc.DimHi = lo, hi
+			return wc, nil
+		}
+		if len(parts) != 4 {
+			return wc, fmt.Errorf("want matmul:<n>:<l>:<m> or matmul:<lo>-<hi>, got %q", s)
+		}
+		dims := make([]int, 3)
+		for i := 0; i < 3; i++ {
+			d, err := strconv.Atoi(parts[i+1])
+			if err != nil {
+				return wc, err
+			}
+			dims[i] = d
+		}
+		wc.Spec = service.WorkloadSpec{Kind: "matmul", Dims: dims}
+		return wc, nil
+	}
+	return wc, fmt.Errorf("unknown workload kind %q", parts[0])
+}
+
+// DefaultScenario is the built-in 2-tenant aggressor mix `simtune loadgen`
+// runs without -tenants: "batch" is the compliant tenant — steady Poisson
+// arrivals over a bounded candidate pool (cache-hit traffic after warmup) —
+// and "burst" is the aggressor: on-off bursts of fresh matmul keys, every
+// one a cold simulation, offered far past its fair share.
+func DefaultScenario() []TenantSpec {
+	return []TenantSpec{
+		{
+			Name: "batch", Weight: 3, Arrival: ArrivalPoisson, Rate: 40,
+			BatchMin: 1, BatchMax: 2, Pool: 32,
+			Workloads: []WorkloadChoice{{Weight: 1, Spec: service.ConvGroupSpec(te.ScaleTiny, 1)}},
+		},
+		{
+			Name: "burst", Arrival: ArrivalOnOff, Rate: 600,
+			OnSec: 0.1, OffSec: 0.1, BatchMin: 4, BatchMax: 6,
+			Workloads: []WorkloadChoice{{Weight: 1, Spec: service.WorkloadSpec{Kind: "matmul"}, DimLo: 12, DimHi: 24}},
+		},
+	}
+}

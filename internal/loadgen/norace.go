@@ -1,0 +1,6 @@
+//go:build !race
+
+package loadgen
+
+// raceEnabled reports whether the race detector is compiled in; see race.go.
+const raceEnabled = false

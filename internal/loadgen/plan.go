@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"repro/internal/num"
+)
+
+// Arrival is one scheduled batch: tenant index, offset from phase start, and
+// everything needed to materialize the candidates later (the plan itself
+// stays small and hashable; schedules are only built at dispatch time).
+type Arrival struct {
+	// Tenant indexes into the Config's tenant slice.
+	Tenant int
+	// AtNS is the offset from phase start, in nanoseconds.
+	AtNS int64
+	// Batch is the candidate count.
+	Batch int
+	// Workload indexes the tenant's workload mix.
+	Workload int
+	// First numbers this arrival's candidates within the tenant×workload
+	// stream: candidate j of the batch is index First+j. Pooled tenants
+	// reduce the index mod Pool (bounded key set); fresh tenants use it
+	// raw (every candidate a new key).
+	First int
+	// Seed is a per-arrival RNG seed for materialization-time draws
+	// (pool slot selection).
+	Seed uint64
+	// Dims are per-arrival matmul extents when the workload choice draws
+	// dimensions (DimLo > 0); zero otherwise.
+	Dims [3]int
+}
+
+// TenantOffered is one tenant's offered totals in a plan.
+type TenantOffered struct {
+	Batches    int
+	Candidates int
+}
+
+// Plan is a fully materialized offered-load schedule for one phase: the
+// deterministic output of BuildPlan, merged across tenants in time order.
+type Plan struct {
+	Arrivals  []Arrival
+	PerTenant []TenantOffered
+}
+
+// fnv64 hashes a tenant name into its per-tenant seed perturbation, so each
+// tenant's stream is independent and stable under reordering of the mix.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// expNS draws an exponential interval with the given mean rate (events per
+// second), in nanoseconds, always at least 1ns so schedules advance.
+func expNS(rng *num.RNG, ratePerSec float64) int64 {
+	d := int64(-math.Log(1-rng.Float64()) / ratePerSec * 1e9)
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// BuildPlan computes the offered-load schedule for one phase: every tenant's
+// arrival stream (Poisson or on-off at Rate×mult batches/sec over horizonNS)
+// merged into one time-ordered slice. It is a pure function of its
+// arguments — the hotpath lint proves no clock read, formatter, or JSON
+// codec is reachable from here, which is what makes the offered load
+// reproducible: the same seed yields the same trace regardless of host,
+// wall-clock, or service latency. Tenants must already be validated
+// (Config.Validate) and normalized.
+func BuildPlan(seed uint64, tenants []TenantSpec, horizonNS int64, mult float64) Plan {
+	streams := make([][]Arrival, len(tenants))
+	offered := make([]TenantOffered, len(tenants))
+	for ti := range tenants {
+		t := &tenants[ti]
+		rng := num.NewRNG(seed ^ fnv64(t.Name))
+		rate := t.Rate * mult
+		weights := make([]float64, len(t.Workloads))
+		for i, w := range t.Workloads {
+			weights[i] = w.Weight
+		}
+		next := make([]int, len(t.Workloads)) // next candidate index per workload stream
+
+		var at int64
+		// On-off state: Poisson tenants are always "on".
+		on := true
+		var windowEnd int64 = horizonNS
+		if t.Arrival == ArrivalOnOff {
+			windowEnd = expNS(rng, 1/t.OnSec)
+		}
+		for {
+			at += expNS(rng, rate)
+			// Skip off-windows: the arrival clock only runs while on.
+			for t.Arrival == ArrivalOnOff && at >= windowEnd {
+				over := at - windowEnd
+				if on {
+					windowEnd += expNS(rng, 1/t.OffSec)
+				} else {
+					windowEnd += expNS(rng, 1/t.OnSec)
+				}
+				on = !on
+				if !on {
+					at = windowEnd + over // shift the residual into the next window
+				}
+			}
+			if at >= horizonNS {
+				break
+			}
+			batch := t.BatchMin + rng.Intn(t.BatchMax-t.BatchMin+1)
+			wi := 0
+			if len(weights) > 1 {
+				wi = rng.Choice(weights)
+			}
+			a := Arrival{
+				Tenant:   ti,
+				AtNS:     at,
+				Batch:    batch,
+				Workload: wi,
+				First:    next[wi],
+				Seed:     rng.Uint64(),
+			}
+			next[wi] += batch
+			if wc := t.Workloads[wi]; wc.DimLo > 0 {
+				span := wc.DimHi - wc.DimLo + 1
+				a.Dims = [3]int{
+					wc.DimLo + rng.Intn(span),
+					wc.DimLo + rng.Intn(span),
+					wc.DimLo + rng.Intn(span),
+				}
+			}
+			streams[ti] = append(streams[ti], a)
+			offered[ti].Batches++
+			offered[ti].Candidates += batch
+		}
+	}
+
+	// k-way merge by (AtNS, tenant index). Manual rather than sort.Slice so
+	// the whole builder stays inside the hotpath lint's provable call graph.
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	merged := make([]Arrival, 0, total)
+	heads := make([]int, len(streams))
+	for len(merged) < total {
+		best := -1
+		for ti, s := range streams {
+			if heads[ti] >= len(s) {
+				continue
+			}
+			if best < 0 || s[heads[ti]].AtNS < streams[best][heads[best]].AtNS {
+				best = ti
+			}
+		}
+		merged = append(merged, streams[best][heads[best]])
+		heads[best]++
+	}
+	return Plan{Arrivals: merged, PerTenant: offered}
+}
+
+// Hash is the deterministic witness of the offered-load trace: a sha256 over
+// the binary encoding of every arrival. Two runs with the same seed and
+// config produce the same hash on any host.
+func (p Plan) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(len(p.Arrivals)))
+	for _, a := range p.Arrivals {
+		put(int64(a.Tenant))
+		put(a.AtNS)
+		put(int64(a.Batch))
+		put(int64(a.Workload))
+		put(int64(a.First))
+		put(int64(a.Seed))
+		put(int64(a.Dims[0]))
+		put(int64(a.Dims[1]))
+		put(int64(a.Dims[2]))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

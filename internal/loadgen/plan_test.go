@@ -1,0 +1,333 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/te"
+)
+
+// poissonTenant is the reference Poisson spec the statistical tests draw
+// from: high rate over a long horizon so sample noise is small.
+func poissonTenant() TenantSpec {
+	t := TenantSpec{Name: "p", Arrival: ArrivalPoisson, Rate: 200, BatchMin: 1, BatchMax: 4}
+	t.defaults()
+	return t
+}
+
+// TestPoissonInterArrivalStatistics checks the generator against the two
+// defining properties of a Poisson process: exponential inter-arrival times
+// with mean 1/rate, and coefficient of variation 1 (variance == mean², the
+// memoryless signature a fixed-interval or uniform generator would fail).
+func TestPoissonInterArrivalStatistics(t *testing.T) {
+	const horizon = 60 * int64(1e9)
+	tn := poissonTenant()
+	p := BuildPlan(11, []TenantSpec{tn}, horizon, 1)
+	if len(p.Arrivals) < 1000 {
+		t.Fatalf("only %d arrivals over %ds at rate %v", len(p.Arrivals), horizon/1e9, tn.Rate)
+	}
+
+	var gaps []float64
+	prev := int64(0)
+	for _, a := range p.Arrivals {
+		gaps = append(gaps, float64(a.AtNS-prev)/1e9)
+		prev = a.AtNS
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	wantMean := 1 / tn.Rate
+	if math.Abs(mean-wantMean)/wantMean > 0.05 {
+		t.Errorf("inter-arrival mean %.6fs, want %.6fs ± 5%%", mean, wantMean)
+	}
+
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	variance := sq / float64(len(gaps))
+	cv := math.Sqrt(variance) / mean
+	if math.Abs(cv-1) > 0.1 {
+		t.Errorf("inter-arrival coefficient of variation %.3f, want 1 ± 0.1 (exponential)", cv)
+	}
+}
+
+// TestBatchSizeUniform checks the batch draw covers [BatchMin, BatchMax]
+// with roughly equal mass.
+func TestBatchSizeUniform(t *testing.T) {
+	tn := poissonTenant()
+	p := BuildPlan(11, []TenantSpec{tn}, 60*int64(1e9), 1)
+	counts := map[int]int{}
+	for _, a := range p.Arrivals {
+		if a.Batch < tn.BatchMin || a.Batch > tn.BatchMax {
+			t.Fatalf("batch %d outside [%d,%d]", a.Batch, tn.BatchMin, tn.BatchMax)
+		}
+		counts[a.Batch]++
+	}
+	want := float64(len(p.Arrivals)) / float64(tn.BatchMax-tn.BatchMin+1)
+	for b := tn.BatchMin; b <= tn.BatchMax; b++ {
+		if got := float64(counts[b]); math.Abs(got-want)/want > 0.15 {
+			t.Errorf("batch size %d drawn %v times, want ~%.0f ± 15%%", b, counts[b], want)
+		}
+	}
+}
+
+// TestOnOffDutyCycle checks the bursty process: the fraction of arrivals
+// landing inside on-windows must track OnSec/(OnSec+OffSec), and the
+// arrivals must actually be bursty — long silences (≫ the Poisson
+// inter-arrival) must appear, which a plain Poisson process at the same
+// average rate would essentially never produce.
+func TestOnOffDutyCycle(t *testing.T) {
+	const horizon = 120 * int64(1e9)
+	tn := TenantSpec{Name: "b", Arrival: ArrivalOnOff, Rate: 400, OnSec: 0.05, OffSec: 0.15, BatchMin: 1, BatchMax: 1}
+	tn.defaults()
+	p := BuildPlan(13, []TenantSpec{tn}, horizon, 1)
+
+	// Duty cycle via the offered total: E[arrivals] = rate · duty · horizon.
+	duty := tn.OnSec / (tn.OnSec + tn.OffSec)
+	want := tn.Rate * duty * float64(horizon) / 1e9
+	got := float64(p.PerTenant[0].Batches)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("on-off offered %v batches, want ~%.0f ± 15%% (rate %v, duty %.2f)", got, want, tn.Rate, duty)
+	}
+
+	// Burstiness: count silences longer than 10× the in-burst mean gap.
+	// Expect roughly one per on/off cycle; a Poisson process of the same
+	// average rate would produce ~zero.
+	meanGap := 1 / tn.Rate
+	var silences int
+	prev := int64(0)
+	for _, a := range p.Arrivals {
+		if float64(a.AtNS-prev)/1e9 > 10*meanGap {
+			silences++
+		}
+		prev = a.AtNS
+	}
+	cycles := float64(horizon) / 1e9 / (tn.OnSec + tn.OffSec)
+	if float64(silences) < 0.5*cycles {
+		t.Errorf("only %d long silences over ~%.0f on/off cycles — arrivals are not bursty", silences, cycles)
+	}
+}
+
+// TestIdenticalSeedIdenticalTrace is the determinism contract: the same
+// (seed, config, horizon, multiplier) must reproduce the identical arrival
+// trace — structurally and by hash — while any other seed must not.
+func TestIdenticalSeedIdenticalTrace(t *testing.T) {
+	tenants := DefaultScenario()
+	for i := range tenants {
+		tenants[i].defaults()
+	}
+	horizon := int64(5e9)
+	a := BuildPlan(42, tenants, horizon, 1.5)
+	b := BuildPlan(42, tenants, horizon, 1.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different plans")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical plans produced different hashes")
+	}
+	c := BuildPlan(43, tenants, horizon, 1.5)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds produced the same trace hash")
+	}
+}
+
+// TestMultiplierScalesOfferedLoad checks open-loop scaling: doubling the
+// multiplier must roughly double every tenant's offered candidates.
+func TestMultiplierScalesOfferedLoad(t *testing.T) {
+	tn := poissonTenant()
+	horizon := 60 * int64(1e9)
+	one := BuildPlan(11, []TenantSpec{tn}, horizon, 1)
+	two := BuildPlan(11, []TenantSpec{tn}, horizon, 2)
+	ratio := float64(two.PerTenant[0].Candidates) / float64(one.PerTenant[0].Candidates)
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("2x multiplier scaled offered candidates by %.3f, want ~2", ratio)
+	}
+}
+
+// TestPlanArrivalsSorted checks the k-way merge: arrivals must come out in
+// nondecreasing time order with intact per-tenant candidate numbering.
+func TestPlanArrivalsSorted(t *testing.T) {
+	tenants := DefaultScenario()
+	for i := range tenants {
+		tenants[i].defaults()
+	}
+	p := BuildPlan(7, tenants, int64(10e9), 1)
+	next := map[[2]int]int{} // (tenant, workload) -> expected First
+	var prev int64
+	for i, a := range p.Arrivals {
+		if a.AtNS < prev {
+			t.Fatalf("arrival %d at %dns before predecessor at %dns", i, a.AtNS, prev)
+		}
+		prev = a.AtNS
+		k := [2]int{a.Tenant, a.Workload}
+		if a.First != next[k] {
+			t.Fatalf("arrival %d (tenant %d workload %d): First=%d, want %d", i, a.Tenant, a.Workload, a.First, next[k])
+		}
+		next[k] += a.Batch
+	}
+}
+
+// TestMaterializeDeterministicAndValid materializes arrivals from both
+// tenant styles and checks the products: step logs replay into valid
+// schedules, pooled tenants stay inside their bounded candidate set, and
+// materialization is itself deterministic.
+func TestMaterializeDeterministicAndValid(t *testing.T) {
+	tenants := DefaultScenario()
+	for i := range tenants {
+		tenants[i].defaults()
+	}
+	p := BuildPlan(3, tenants, int64(1e9), 1)
+	if len(p.Arrivals) == 0 {
+		t.Fatal("empty plan")
+	}
+	poolKeys := map[string]bool{}
+	for _, a := range p.Arrivals[:min(len(p.Arrivals), 40)] {
+		tn := &tenants[a.Tenant]
+		req, err := materialize(tn, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req2, err := materialize(tn, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatal("materialize is not deterministic")
+		}
+		if len(req.Candidates) != a.Batch {
+			t.Fatalf("materialized %d candidates for batch %d", len(req.Candidates), a.Batch)
+		}
+		factory, err := req.Workload.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range req.Candidates {
+			if _, err := schedule.Replay(factory().Op, c.Steps); err != nil {
+				t.Fatalf("tenant %s: unreplayable steps: %v", tn.Name, err)
+			}
+			if tn.Pool > 0 {
+				poolKeys[stepsKey(c.Steps)] = true
+			}
+		}
+	}
+	if pool := tenants[0].Pool; len(poolKeys) > pool {
+		t.Errorf("pooled tenant produced %d distinct candidates, want ≤ pool %d", len(poolKeys), pool)
+	}
+}
+
+func stepsKey(steps []schedule.Step) string { return fmt.Sprintf("%+v", steps) }
+
+// TestValidateRejectsBadConfigs spot-checks the validation gate that keeps
+// the lint-rooted BuildPlan free of error formatting.
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := func() Config {
+		return Config{Seed: 1, Duration: time.Second, Tenants: DefaultScenario()}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default scenario must validate: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no tenants", func(c *Config) { c.Tenants = nil }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative step", func(c *Config) { c.Steps = []float64{-1} }},
+		{"duplicate tenant", func(c *Config) { c.Tenants = append(c.Tenants, c.Tenants[0]) }},
+		{"reserved name", func(c *Config) { c.Tenants[0].Name = "default" }},
+		{"zero rate", func(c *Config) { c.Tenants[0].Rate = 0 }},
+		{"bad arrival", func(c *Config) { c.Tenants[0].Arrival = "lognormal" }},
+		{"bad arch", func(c *Config) { c.Tenants[0].Arch = "sparc" }},
+		{"dim range on conv", func(c *Config) { c.Tenants[0].Workloads[0].DimLo, c.Tenants[0].Workloads[0].DimHi = 4, 8 }},
+		{"inverted dims", func(c *Config) { c.Tenants[1].Workloads[0].DimLo, c.Tenants[1].Workloads[0].DimHi = 9, 3 }},
+		{"unknown isolation tenant", func(c *Config) { c.Isolation = &IsolationSpec{Compliant: "batch", Aggressor: "ghost"} }},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", tc.name)
+		}
+	}
+}
+
+// TestParseTenants round-trips the CLI mix syntax.
+func TestParseTenants(t *testing.T) {
+	got, err := ParseTenants(
+		"batch,weight=3,rate=40,batch=1-4,pool=32,workload=conv_group:tiny:1;" +
+			"burst,arrival=onoff,rate=400,on=0.05,off=0.15,batch=4-6,workload=matmul:12-24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d tenants, want 2", len(got))
+	}
+	b := got[0]
+	if b.Name != "batch" || b.Weight != 3 || b.Rate != 40 || b.BatchMin != 1 || b.BatchMax != 4 || b.Pool != 32 {
+		t.Errorf("batch tenant parsed wrong: %+v", b)
+	}
+	if len(b.Workloads) != 1 || b.Workloads[0].Spec.Kind != "conv_group" ||
+		b.Workloads[0].Spec.Scale != string(te.ScaleTiny) || b.Workloads[0].Spec.Group != 1 {
+		t.Errorf("batch workload parsed wrong: %+v", b.Workloads)
+	}
+	u := got[1]
+	if u.Arrival != ArrivalOnOff || u.OnSec != 0.05 || u.OffSec != 0.15 {
+		t.Errorf("burst arrival parsed wrong: %+v", u)
+	}
+	if len(u.Workloads) != 1 || u.Workloads[0].DimLo != 12 || u.Workloads[0].DimHi != 24 {
+		t.Errorf("burst workload parsed wrong: %+v", u.Workloads)
+	}
+
+	for _, bad := range []string{
+		"x,rate=abc",
+		"x,unknownfield=1",
+		"x,workload=fft:8",
+		",rate=4",
+		"x,batch=4-z",
+	} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestPaceIsOpenLoop drives pace with a fake clock and a recording
+// dispatcher: every arrival must fire at (or after) its scheduled offset,
+// and a dispatcher that lags must not delay later arrivals' scheduled times
+// (offered load independent of service latency).
+func TestPaceIsOpenLoop(t *testing.T) {
+	arrivals := []Arrival{{AtNS: 10}, {AtNS: 20}, {AtNS: 30}, {AtNS: 40}}
+	var now int64
+	var fired []int64
+	done := make(chan struct{})
+	n := pace(done, arrivals,
+		func() int64 { return now },
+		func(ns int64) bool { now += ns; return true },
+		func(a Arrival) { fired = append(fired, now) },
+	)
+	if n != len(arrivals) {
+		t.Fatalf("paced %d arrivals, want %d", n, len(arrivals))
+	}
+	for i, at := range fired {
+		if at != arrivals[i].AtNS {
+			t.Errorf("arrival %d fired at %dns, want %dns", i, at, arrivals[i].AtNS)
+		}
+	}
+
+	// Cancellation: a closed done channel stops the loop between arrivals.
+	close(done)
+	now = 0
+	n = pace(done, arrivals, func() int64 { return 1000 }, func(int64) bool { return true }, func(Arrival) {})
+	if n != 0 {
+		t.Errorf("canceled pace dispatched %d arrivals, want 0", n)
+	}
+}

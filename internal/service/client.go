@@ -131,6 +131,12 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if id := obs.TraceID(ctx); id != "" {
 		httpReq.Header.Set(obs.TraceHeader, id)
 	}
+	// The tenant identity travels the same way: every tier admits and
+	// accounts the batch under the context's tenant, falling back to the
+	// default tenant when untagged.
+	if tnt := TenantFrom(ctx); tnt != "" {
+		httpReq.Header.Set(TenantHeader, tnt)
+	}
 	return c.roundTrip(httpReq, out)
 }
 
@@ -218,6 +224,11 @@ type ServiceRunner struct {
 	// Ctx, when set, bounds every batch (client-side deadline/cancel);
 	// nil means context.Background().
 	Ctx context.Context
+	// Tenant, when set, tags every batch with this tenant identity
+	// (X-Simtune-Tenant on the wire): the service admits it under the
+	// tenant's fair share of the admission gate and accounts it in the
+	// tenant's statusz/metrics ledgers. Empty means the default tenant.
+	Tenant string
 	// Retries bounds re-submissions of a batch that failed with a
 	// retryable error (server restart, canceled batch, overloaded fleet,
 	// router with every node briefly down). Retrying matters because the
@@ -310,6 +321,9 @@ func (r *ServiceRunner) Run(inputs []runner.MeasureInput, builds []runner.BuildR
 	// every retry and every reroute hop downstream reuses it, which is what
 	// makes one tuner batch one joinable timeline across the fleet.
 	ctx, _ = obs.EnsureTrace(ctx)
+	if r.Tenant != "" {
+		ctx = WithTenant(ctx, r.Tenant)
+	}
 	out := make([]runner.MeasureResult, len(inputs))
 	req := &SimulateRequest{
 		Arch:       string(r.Arch),

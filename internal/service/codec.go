@@ -148,6 +148,13 @@ type Statusz struct {
 	HandoffKeys uint64 `json:"handoff_keys"`
 	// Shards reports per-architecture worker pools (leaf servers only).
 	Shards []ShardStatus `json:"shards"`
+	// Tenants partitions the candidate ledgers by tenant identity
+	// (X-Simtune-Tenant; unidentified traffic lands in "default"), sorted
+	// by tenant name. Per tenant, hits+misses+canceled == candidates
+	// reconciles exactly like the fleet-wide invariant; rejected stays a
+	// parallel ledger. On a router, per-node rows merged by tenant name.
+	// Empty until the first batch arrives.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
 	// Nodes reports the backing servers when this statusz comes from a
 	// routing tier; the counters above are then sums over reachable nodes.
 	Nodes []NodeStatus `json:"nodes,omitempty"`

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,28 +19,125 @@ import (
 // and latency stay bounded under any client population and a router can
 // shed the load to ring successors.
 //
-// One liveness exception: a batch larger than max is admitted when nothing
-// else is (cur == 0), so an oversized client degrades to serial service
-// rather than being re-rejected forever.
+// The bound is shared weighted-fair across tenants. Let W be the weight sum
+// of the tenants currently holding admitted work plus the requester; the
+// requester's limit is max·w/W. A tenant alone on the server therefore gets
+// the whole gate (work conservation — single-tenant behavior is unchanged),
+// while under contention each tenant is capped at exactly its share: an
+// aggressor that filled the gate is rejected back to its share as soon as a
+// second tenant shows up, and a tenant under its share is admitted
+// *unconditionally* — a compliant tenant is never 429d by someone else's
+// backlog. The price is a bounded transient overshoot of the global max
+// (at most one extra share per under-share tenant while an aggressor's
+// borrowed admissions drain), which buys the hard fairness guarantee.
+//
+// One liveness exception: a batch larger than its limit is admitted when
+// nothing else is (cur == 0), so an oversized client degrades to serial
+// service rather than being re-rejected forever.
+//
+// Admission is once per batch, not per candidate, so the mutex guarding the
+// per-tenant occupancy map is off the per-candidate hot path; cur remains a
+// plain atomic for lock-free gauge reads.
 type admission struct {
 	max int64
-	cur atomic.Int64
+	cur atomic.Int64 // total admitted candidates across all tenants
+
+	mu      sync.Mutex
+	weights map[string]float64     // configured fair-share weights (nil: all 1)
+	gates   map[string]*tenantGate // per-tenant occupancy, created on first sight
 }
 
-// tryAcquire admits n candidates, or reports the gate full.
-func (a *admission) tryAcquire(n int) bool {
-	for {
-		cur := a.cur.Load()
-		if cur > 0 && cur+int64(n) > a.max {
-			return false
+// tenantGate is one tenant's admission occupancy.
+type tenantGate struct {
+	weight float64
+	cur    int64
+}
+
+// init readies the gate in place (admission embeds a mutex, so it is
+// initialized where it lives rather than copied from a constructor).
+func (a *admission) init(max int64, weights map[string]float64) {
+	a.max = max
+	a.weights = weights
+	a.gates = make(map[string]*tenantGate)
+}
+
+// gate returns the tenant's occupancy record, creating it with the
+// configured weight (default 1). Callers hold a.mu.
+func (a *admission) gate(tenant string) *tenantGate {
+	g := a.gates[tenant]
+	if g == nil {
+		wt := 1.0
+		if w, ok := a.weights[tenant]; ok && w > 0 {
+			wt = w
 		}
-		if a.cur.CompareAndSwap(cur, cur+int64(n)) {
-			return true
+		g = &tenantGate{weight: wt}
+		a.gates[tenant] = g
+	}
+	return g
+}
+
+// tryAcquire admits n of the tenant's candidates, or reports its fair share
+// of the gate full.
+func (a *admission) tryAcquire(tenant string, n int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g := a.gate(tenant)
+	if a.cur.Load() == 0 {
+		// Liveness: an idle server admits any batch, oversized included.
+		g.cur += int64(n)
+		a.cur.Add(int64(n))
+		return true
+	}
+	// W sums the weights of tenants currently holding admitted work, plus
+	// this one; the tenant's limit is its weighted share of the gate. With
+	// no contention W == g.weight and the limit is the whole gate.
+	w := g.weight
+	for _, og := range a.gates {
+		if og != g && og.cur > 0 {
+			w += og.weight
 		}
 	}
+	limit := int64(float64(a.max) * g.weight / w)
+	if g.cur+int64(n) > limit {
+		return false
+	}
+	g.cur += int64(n)
+	a.cur.Add(int64(n))
+	return true
 }
 
-func (a *admission) release(n int) { a.cur.Add(int64(-n)) }
+// release returns n of the tenant's candidates to the gate.
+func (a *admission) release(tenant string, n int) {
+	a.mu.Lock()
+	if g := a.gates[tenant]; g != nil {
+		g.cur -= int64(n)
+	}
+	a.mu.Unlock()
+	a.cur.Add(int64(-n))
+}
+
+// admitted reports the tenant's current gate occupancy (statusz).
+func (a *admission) admitted(tenant string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g := a.gates[tenant]; g != nil {
+		return g.cur
+	}
+	return 0
+}
+
+// weightOf reports the tenant's effective fair-share weight.
+func (a *admission) weightOf(tenant string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g := a.gates[tenant]; g != nil {
+		return g.weight
+	}
+	if w, ok := a.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
 
 // shard is the worker pool of one architecture: a fixed number of simulator
 // slots shared by every concurrent batch targeting that arch. Slots are a

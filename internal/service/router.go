@@ -918,6 +918,7 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 	wg.Wait()
 
 	shardByArch := make(map[string]*ShardStatus)
+	tenantByName := make(map[string]*TenantStatus)
 	var shardOrder []string
 	for i, n := range rt.nodes {
 		ns := n.status()
@@ -949,12 +950,17 @@ func (rt *Router) Statusz(ctx context.Context) (*Statusz, error) {
 				m.Running += sh.Running
 				m.Simulated += sh.Simulated
 			}
+			mergeTenantStatus(tenantByName, st.Tenants)
 		}
 		agg.Nodes = append(agg.Nodes, ns)
 	}
 	for _, arch := range shardOrder {
 		agg.Shards = append(agg.Shards, *shardByArch[arch])
 	}
+	// Per-tenant ledgers merge by tenant name exactly like shards merge by
+	// arch: the fleet view of each tenant's candidates/hits/misses/canceled
+	// (reconciling per tenant) and rejected (the fairness gate's shed work).
+	agg.Tenants = sortedTenantStatus(tenantByName)
 	// Stages on a router statusz summarizes the routing tier's own
 	// histograms (split, dispatch, reroute, per-outcome batches). The exact
 	// fleet-wide merge — node histograms folded bucket-wise — lives on

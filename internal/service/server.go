@@ -37,6 +37,9 @@ type Server struct {
 	start  time.Time
 	admit  admission
 	tel    *telemetry // nil when Config.DisableTelemetry
+	// tenants partitions the candidate ledgers by tenant identity — the
+	// per-tenant view of the same accounting the fields below keep globally.
+	tenants *tenantSet
 
 	requests   atomic.Uint64
 	candidates atomic.Uint64
@@ -81,14 +84,15 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:    cfg,
-		shards: make(map[isa.Arch]*shard, len(cfg.Archs)),
-		cache:  newResultCache(cfg.MaxResidentResults, disk),
-		disk:   disk,
-		start:  time.Now(),
-		admit:  admission{max: int64(cfg.MaxQueuedCandidates)},
-		tel:    tel,
+		cfg:     cfg,
+		shards:  make(map[isa.Arch]*shard, len(cfg.Archs)),
+		cache:   newResultCache(cfg.MaxResidentResults, disk),
+		disk:    disk,
+		start:   time.Now(),
+		tel:     tel,
+		tenants: newTenantSet(),
 	}
+	s.admit.init(int64(cfg.MaxQueuedCandidates), cfg.TenantWeights)
 	for _, arch := range cfg.Archs {
 		s.shards[arch] = newShard(hw.Lookup(arch), cfg.WorkersPerArch)
 	}
@@ -225,18 +229,25 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		}
 		return nil, err
 	}
-	// Admission: the request is well-formed but the node is full — refuse
-	// rather than queue without bound. Rejected candidates are never
-	// "accepted", so they are counted in their own ledger and the
-	// hits+misses+canceled == candidates invariant is untouched.
+	// Admission: the request is well-formed but the tenant's share of the
+	// gate is full — refuse rather than queue without bound. The gate is
+	// weighted-fair (see admission): an aggressor tenant is capped at its
+	// share while a tenant under its share is never rejected. Rejected
+	// candidates are never "accepted", so they are counted in their own
+	// ledgers (global and per-tenant) and the hits+misses+canceled ==
+	// candidates invariant is untouched.
+	tenant := tenantOf(ctx)
+	tl := s.tenants.get(tenant, s.tel)
 	var adm0 time.Time
 	if s.tel != nil {
 		adm0 = time.Now()
 	}
-	if !s.admit.tryAcquire(len(req.Candidates)) {
+	if !s.admit.tryAcquire(tenant, len(req.Candidates)) {
 		s.rejected.Add(uint64(len(req.Candidates)))
+		tl.rejected.Add(uint64(len(req.Candidates)))
 		err := fmt.Errorf("service: %w", overloadedf(s.cfg.RetryAfterHint,
-			"overloaded: %d candidates admitted (max %d)", s.admit.cur.Load(), s.cfg.MaxQueuedCandidates))
+			"overloaded: %d candidates admitted (max %d, tenant %s over fair share)",
+			s.admit.cur.Load(), s.cfg.MaxQueuedCandidates, tenant))
 		if at != nil {
 			s.tel.finishBatch(tr, nil, at.batchRejected, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
 		}
@@ -247,9 +258,10 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		at.admission.Observe(admDur)
 		tr.Span(stageAdmission, adm0, admDur, 1, "")
 	}
-	defer s.admit.release(len(req.Candidates))
+	defer s.admit.release(tenant, len(req.Candidates))
 	s.requests.Add(1)
 	s.candidates.Add(uint64(len(req.Candidates)))
+	tl.candidates.Add(uint64(len(req.Candidates)))
 
 	// Per-candidate timing state: one slice allocation per batch, nil slots
 	// when telemetry is off (candTimings pointers then disable every
@@ -278,9 +290,12 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 		r, hit, err := s.cache.doTimed(ctx, key, tm, func() (Result, error) {
 			return sh.exec(ctx, factory, steps, tm)
 		})
+		var total time.Duration
 		if at != nil {
-			at.record(agg, tm, time.Since(c0), hit, err)
+			total = time.Since(c0)
+			at.record(agg, tm, total, hit, err)
 		}
+		tl.recordServe(total, hit, err)
 		if err != nil {
 			// Only cancellation reaches here (deterministic failures travel
 			// inside Result.Err). If ctx died after ParallelCtx dispatched
@@ -300,9 +315,12 @@ func (s *Server) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateR
 	}
 	if perr != nil {
 		// Candidates ParallelCtx never dispatched were canceled before the
-		// cache could see them; charge them to the canceled counter so
-		// hits+misses+canceled still reconciles with candidates accepted.
-		s.cache.canceled.Add(uint64(len(req.Candidates)) - dispatched.Load())
+		// cache could see them; charge them to the canceled counters (global
+		// and per-tenant) so hits+misses+canceled still reconciles with
+		// candidates accepted at both granularities.
+		undispatched := uint64(len(req.Candidates)) - dispatched.Load()
+		s.cache.canceled.Add(undispatched)
+		tl.canceled.Add(undispatched)
 		err := fmt.Errorf("service: %w", unavailablef("batch canceled: %v", perr))
 		if at != nil {
 			s.tel.finishBatch(tr, agg, at.batchCanceled, batchStart, "node", req.Arch, req.Workload.signature(), len(req.Candidates), err)
@@ -340,6 +358,7 @@ func (s *Server) Statusz(context.Context) (*Statusz, error) {
 	for _, arch := range s.cfg.Archs {
 		st.Shards = append(st.Shards, s.shards[arch].status())
 	}
+	st.Tenants = s.tenantStatuses()
 	st.Stages = stageLatencies(s.tel.histSnapshot())
 	return st, nil
 }
@@ -376,6 +395,20 @@ func (s *Server) MetricsSnapshot(context.Context) (*obs.MetricsSnapshot, error) 
 		counter("simtune_simulated_total", l, sh.simulated.Load())
 		gauge("simtune_queue_depth", l, float64(sh.queued.Load()))
 		gauge("simtune_running", l, float64(sh.running.Load()))
+	}
+	// Per-tenant ledgers as tenant-labeled series. The tenant serve-latency
+	// histograms (simtune_tenant_serve_seconds) are already in Hists via the
+	// registry snapshot; series with the same (name, labels) merge
+	// bucket-wise across nodes like every other histogram, so fleet-level
+	// per-tenant quantiles stay exact.
+	for _, tl := range s.tenants.snapshot() {
+		l := obs.Labels("tenant", tl.name)
+		counter("simtune_tenant_candidates_total", l, tl.candidates.Load())
+		counter("simtune_tenant_rejected_candidates_total", l, tl.rejected.Load())
+		counter("simtune_tenant_cache_hits_total", l, tl.hits.Load())
+		counter("simtune_tenant_cache_misses_total", l, tl.misses.Load())
+		counter("simtune_tenant_cache_canceled_total", l, tl.canceled.Load())
+		gauge("simtune_tenant_admitted_candidates", l, float64(s.admit.admitted(tl.name)))
 	}
 	if s.disk != nil {
 		live, total := s.disk.Bytes()
@@ -446,6 +479,14 @@ func backendHandler(b Backend, tel *telemetry, enablePprof bool) http.Handler {
 		if id := r.Header.Get(obs.TraceHeader); id != "" {
 			ctx = obs.WithTrace(ctx, id)
 			w.Header().Set(obs.TraceHeader, id)
+		}
+		// The tenant identity travels the same way as the trace ID: header
+		// on the wire, context value in the process. A router forwards the
+		// same context to its node clients, so the identity survives the
+		// fan-out; absent or invalid identities resolve to DefaultTenant at
+		// admission time.
+		if tnt := r.Header.Get(TenantHeader); tnt != "" {
+			ctx = WithTenant(ctx, tnt)
 		}
 		resp, err := b.Simulate(ctx, &req)
 		if err != nil {

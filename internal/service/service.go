@@ -291,6 +291,12 @@ type Config struct {
 	// RetryAfterHint paces rejected clients: the Retry-After carried by 429
 	// responses (default 1s).
 	RetryAfterHint time.Duration
+	// TenantWeights assigns fair-share weights to tenant identities for the
+	// admission gate (see admission): under contention a tenant's slice of
+	// MaxQueuedCandidates is max·w/ΣW over the active tenants. Tenants not
+	// listed (including "default") weigh 1. nil means every tenant weighs 1
+	// — equal shares.
+	TenantWeights map[string]float64
 	// DrainTimeout bounds the graceful-drain phase of ListenAndServe's
 	// shutdown: how long in-flight batches may finish after SIGINT/SIGTERM
 	// before they are hard-canceled (default 30s).

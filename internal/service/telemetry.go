@@ -25,6 +25,7 @@ import (
 const (
 	metricStage     = "simtune_stage_duration_seconds"
 	metricServe     = "simtune_candidate_serve_seconds"
+	metricTenant    = "simtune_tenant_serve_seconds"
 	metricBatch     = "simtune_batch_duration_seconds"
 	metricRtBatch   = "simtune_router_batch_duration_seconds"
 	metricRtDisp    = "simtune_router_dispatch_seconds"
@@ -204,6 +205,17 @@ func stageLatencies(hists []obs.HistSnapshot) []StageLatency {
 }
 
 func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// tenantServe returns the tenant's serve-latency histogram (nil when
+// telemetry is off). Unlike the per-arch panel this registers lazily —
+// tenants appear with traffic — but only once per tenant (tenantSet caches
+// the ledger), so workers still never touch the registry lock.
+func (t *telemetry) tenantServe(tenant string) *obs.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.m.Histogram(metricTenant, obs.Labels("tenant", tenant))
+}
 
 // storeWriteHist hands the durable store its append-latency histogram (nil
 // when telemetry is off — the store then records nothing).

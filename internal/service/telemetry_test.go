@@ -343,6 +343,17 @@ func TestRouterMetricsMergeIsExact(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		slow.Observe(time.Second)
 	}
+	// The same bimodal split under one tenant label: per-tenant serve
+	// histograms must merge bucket-wise across nodes exactly like the stage
+	// series, keyed by the tenant label.
+	tfast := servers[0].tel.tenantServe("acme")
+	tslow := servers[1].tel.tenantServe("acme")
+	for i := 0; i < 60; i++ {
+		tfast.Observe(time.Millisecond)
+	}
+	for i := 0; i < 40; i++ {
+		tslow.Observe(time.Second)
+	}
 
 	snap, err := rt.MetricsSnapshot(context.Background())
 	if err != nil {
@@ -371,6 +382,28 @@ func TestRouterMetricsMergeIsExact(t *testing.T) {
 	}
 	if p99 := merged.Quantile(0.99); p99 < 512*time.Millisecond {
 		t.Fatalf("merged p99 = %v, want the slow mode (≥512ms at factor-of-two error)", p99)
+	}
+
+	// The tenant-labeled series must merge with the same exactness.
+	tenantLabels := obs.Labels("tenant", "acme")
+	var tmerged *obs.HistSnapshot
+	for i := range snap.Hists {
+		if snap.Hists[i].Name == metricTenant && snap.Hists[i].Labels == tenantLabels {
+			tmerged = &snap.Hists[i]
+			break
+		}
+	}
+	if tmerged == nil {
+		t.Fatalf("merged snapshot lacks %s{%s}", metricTenant, tenantLabels)
+	}
+	if tmerged.Count != 100 {
+		t.Fatalf("merged tenant count %d, want 100 (both nodes' samples)", tmerged.Count)
+	}
+	if p50 := tmerged.Quantile(0.50); p50 > 10*time.Millisecond {
+		t.Fatalf("merged tenant p50 = %v — averaged, not merged", p50)
+	}
+	if p99 := tmerged.Quantile(0.99); p99 < 512*time.Millisecond {
+		t.Fatalf("merged tenant p99 = %v lost the slow node's mode", p99)
 	}
 }
 
